@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one figure of the paper at a reduced default scale (so the
+whole suite completes in minutes); the module docstrings state the paper-scale
+invocation. Benchmarks print the same text tables the experiment harnesses produce, so
+``pytest benchmarks/ --benchmark-only -s`` shows the regenerated series alongside the
+timing statistics.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # The benchmark suite lives outside the default testpaths; nothing to configure,
+    # but keeping a conftest here makes the directory importable by pytest plugins.
+    pass
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (simulation experiments are minutes-long)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

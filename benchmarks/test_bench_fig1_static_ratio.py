@@ -1,0 +1,37 @@
+"""Figure 1: estimation error vs. history-window sizes, static public/private ratio.
+
+Paper scale: ``run_history_window_experiment(dynamic=False)`` with 1000 public + 4000
+private nodes, 250 rounds and window pairs (10, 25), (25, 50), (100, 250). The default
+benchmark scale below keeps the same ratio and join profile at 1/20 of the population.
+"""
+
+from repro.experiments import run_history_window_experiment
+
+BENCH_PUBLIC = 50
+BENCH_PRIVATE = 200
+BENCH_ROUNDS = 90
+BENCH_WINDOWS = ((10, 25), (25, 50), (50, 125))
+
+
+def test_fig1_static_ratio_history_windows(once):
+    result = once(
+        run_history_window_experiment,
+        dynamic=False,
+        n_public=BENCH_PUBLIC,
+        n_private=BENCH_PRIVATE,
+        rounds=BENCH_ROUNDS,
+        window_pairs=BENCH_WINDOWS,
+        public_interarrival_ms=100.0,
+        private_interarrival_ms=25.0,
+        seed=42,
+    )
+    print()
+    print(result.to_text())
+
+    # Shape checks (paper: all window pairs converge; larger windows end up at least as
+    # accurate as the smallest once the ratio is static).
+    small = result.run_for(*BENCH_WINDOWS[0]).series
+    large = result.run_for(*BENCH_WINDOWS[-1]).series
+    assert small.final_avg_error() is not None and small.final_avg_error() < 0.05
+    assert large.final_avg_error() is not None and large.final_avg_error() < 0.05
+    assert large.final_max_error() <= small.final_max_error() * 1.5 + 0.01

@@ -1,0 +1,47 @@
+"""Figure 2: estimation error vs. history-window sizes, dynamic public/private ratio.
+
+Paper scale: same join phase as Figure 1, then one new public node every 42 ms from
+round 58, raising the ratio by about three percentage points. Small windows track the
+change fastest; large windows lag but win after the ratio stabilises.
+"""
+
+from repro.experiments import run_history_window_experiment
+
+BENCH_PUBLIC = 40
+BENCH_PRIVATE = 160
+BENCH_ROUNDS = 110
+BENCH_WINDOWS = ((10, 25), (50, 125))
+GROWTH_START_ROUND = 40
+
+
+def test_fig2_dynamic_ratio_history_windows(once):
+    result = once(
+        run_history_window_experiment,
+        dynamic=True,
+        n_public=BENCH_PUBLIC,
+        n_private=BENCH_PRIVATE,
+        rounds=BENCH_ROUNDS,
+        window_pairs=BENCH_WINDOWS,
+        public_interarrival_ms=100.0,
+        private_interarrival_ms=25.0,
+        ratio_growth_start_round=GROWTH_START_ROUND,
+        ratio_growth_interval_ms=500.0,
+        seed=42,
+    )
+    print()
+    print(result.to_text())
+
+    small_run = result.run_for(*BENCH_WINDOWS[0])
+    large_run = result.run_for(*BENCH_WINDOWS[1])
+    # The ratio actually grew.
+    assert small_run.final_true_ratio > 0.2
+    # Both estimators follow the change and stay within a few points of the new ratio.
+    assert small_run.series.final_avg_error() < 0.06
+    assert large_run.series.final_avg_error() < 0.1
+
+    # Right after the growth phase the small window tracks the moving ratio at least as
+    # well as the large window (the paper's crossover behaviour).
+    growth_ms = (GROWTH_START_ROUND + 15) * 1000.0
+    small_sample = [s for s in small_run.series.samples if s.time_ms >= growth_ms][0]
+    large_sample = [s for s in large_run.series.samples if s.time_ms >= growth_ms][0]
+    assert small_sample.avg_error <= large_sample.avg_error + 0.02

@@ -1,0 +1,39 @@
+"""Figure 7(a): protocol overhead — average load per node, public vs. private.
+
+Paper scale: 1000 nodes at ratio 0.2, Croupier with α=25, γ=100, at most 10 estimates of
+5 bytes piggy-backed per shuffle. The paper's claims asserted here: Croupier's private
+overhead is less than half of Gozar's and less than a quarter of Nylon's, and its public
+overhead is the lowest of the three NAT-aware protocols.
+"""
+
+from repro.experiments import run_overhead_experiment
+
+BENCH_NODES = 150
+WARMUP_ROUNDS = 25
+MEASURE_ROUNDS = 30
+
+
+def test_fig7a_protocol_overhead(once):
+    result = once(
+        run_overhead_experiment,
+        total_nodes=BENCH_NODES,
+        public_ratio=0.2,
+        warmup_rounds=WARMUP_ROUNDS,
+        measure_rounds=MEASURE_ROUNDS,
+        croupier_alpha=25,
+        croupier_gamma=100,
+        seed=42,
+    )
+    print()
+    print(result.to_text())
+
+    private = result.private_loads()
+    public = result.public_loads()
+    assert private["croupier"] < 0.5 * private["gozar"]
+    assert private["croupier"] < 0.25 * private["nylon"]
+    assert public["croupier"] < public["gozar"]
+    assert public["croupier"] < 1.5 * public["nylon"]
+    # Sanity: the Cyclon baseline (public-only) is cheaper than every NAT-aware PSS.
+    baseline = result.cyclon_baseline_bps()
+    assert baseline is not None
+    assert baseline < result.reports["croupier"].all_bytes_per_second

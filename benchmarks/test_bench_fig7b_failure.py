@@ -1,0 +1,39 @@
+"""Figure 7(b): connectivity after catastrophic failure.
+
+Paper scale: 1000 nodes with 80 % private, failures of 40–90 % of all nodes at one
+instant; Croupier's biggest surviving cluster stays above ~85 % of the survivors at 90 %
+failures, far ahead of Gozar and Nylon. The benchmark uses a reduced population and the
+two harshest failure levels, asserting that Croupier remains at least as well connected
+as both baselines.
+"""
+
+from repro.experiments import run_failure_experiment
+
+BENCH_NODES = 300
+BENCH_FRACTIONS = (0.8, 0.9)
+BENCH_PROTOCOLS = ("croupier", "gozar", "nylon")
+WARMUP_ROUNDS = 40
+
+
+def test_fig7b_connectivity_after_catastrophic_failure(once):
+    result = once(
+        run_failure_experiment,
+        protocols=BENCH_PROTOCOLS,
+        failure_fractions=BENCH_FRACTIONS,
+        total_nodes=BENCH_NODES,
+        private_ratio=0.8,
+        warmup_rounds=WARMUP_ROUNDS,
+        seed=42,
+    )
+    print()
+    print(result.to_text())
+
+    for fraction in BENCH_FRACTIONS:
+        croupier = result.cluster_at("croupier", fraction)
+        gozar = result.cluster_at("gozar", fraction)
+        nylon = result.cluster_at("nylon", fraction)
+        # Croupier keeps the overlay at least as connected as both baselines.
+        assert croupier >= gozar - 0.03
+        assert croupier >= nylon - 0.03
+    # And at 90% failures it still holds a large majority of survivors together.
+    assert result.cluster_at("croupier", 0.9) > 0.7

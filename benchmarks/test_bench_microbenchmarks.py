@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the hot paths: event loop, view operations, estimator, shuffle round.
+
+Unlike the figure benches (one full experiment per figure), these measure the per-call
+cost of the primitives that dominate a simulation's runtime, so regressions in the
+simulator or the protocol inner loops show up directly in ``--benchmark-compare`` runs.
+"""
+
+import random
+
+from repro.core.estimator import RatioEstimate, RatioEstimator
+from repro.membership.descriptor import NodeDescriptor
+from repro.membership.view import PartialView
+from repro.net.address import Endpoint, NatType, NodeAddress
+from repro.simulator.core import Simulator
+from repro.workload.scenario import Scenario, ScenarioConfig
+
+
+def make_descriptor(node_id: int, age: int = 0) -> NodeDescriptor:
+    """A small public-node descriptor for the view/estimator micro-benchmarks."""
+    address = NodeAddress(
+        node_id=node_id,
+        endpoint=Endpoint(f"1.0.{node_id // 250}.{node_id % 250 + 1}", 7000),
+        nat_type=NatType.PUBLIC,
+    )
+    return NodeDescriptor(address=address, age=age)
+
+
+def test_bench_event_loop_throughput(benchmark):
+    """Schedule-and-run cost of 10k no-op events."""
+
+    def run():
+        sim = Simulator(seed=1)
+        for index in range(10_000):
+            sim.schedule(float(index % 100), lambda: None)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run)
+    assert executed == 10_000
+
+
+def test_bench_view_update(benchmark):
+    """One swapper merge of a full view with a typical shuffle subset."""
+    rng = random.Random(0)
+    view = PartialView(10)
+    for node_id in range(1, 11):
+        view.add(make_descriptor(node_id, age=node_id))
+    received = [make_descriptor(100 + i) for i in range(5)]
+
+    def run():
+        sent = view.random_subset(rng, 5)
+        view.update_view(sent=sent, received=received, self_id=999)
+        return len(view)
+
+    size = benchmark(run)
+    assert size <= 10
+
+
+def test_bench_estimator_round(benchmark):
+    """One estimator round: record hits, merge estimates, advance, read the estimate."""
+    estimator = RatioEstimator(alpha=25, gamma=50, is_public=True)
+    rng = random.Random(1)
+    incoming = [RatioEstimate(i, 0.2, age=i % 5) for i in range(10)]
+
+    def run():
+        for _ in range(5):
+            estimator.record_shuffle_request(rng.random() < 0.2)
+        estimator.merge_estimates(incoming)
+        estimator.advance_round()
+        return estimator.estimate_ratio()
+
+    value = benchmark(run)
+    assert 0.0 <= value <= 1.0
+
+
+def test_bench_croupier_gossip_round(benchmark):
+    """Wall-clock cost of one full gossip round for a 100-node Croupier system."""
+    scenario = Scenario(ScenarioConfig(protocol="croupier", seed=3, latency="constant"))
+    scenario.populate(n_public=20, n_private=80)
+    scenario.run_rounds(5)  # warm up views
+
+    def run():
+        scenario.run_rounds(1)
+        return scenario.live_count()
+
+    live = benchmark(run)
+    assert live == 100

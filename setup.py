@@ -1,0 +1,12 @@
+"""Packaging entry point.
+
+The project deliberately uses a classic ``setup.py`` / ``setup.cfg`` layout instead of a
+``pyproject.toml`` build: the reproduction environment is fully offline, and pip's
+PEP 517 build isolation would try (and fail) to download ``setuptools`` and ``wheel``
+from PyPI. The legacy path installs with the interpreter's already-present setuptools,
+so ``pip install -e .`` works without network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Croupier — the paper's primary contribution.
+
+Croupier is a gossip peer-sampling service that stays uniform when most nodes are behind
+NATs, *without* relaying or hole punching. The package splits the contribution into its
+three moving parts:
+
+* :class:`~repro.core.croupier.Croupier` — the protocol component: split public/private
+  views and the croupier shuffle of Algorithm 2.
+* :class:`~repro.core.estimator.RatioEstimator` — the distributed public/private ratio
+  estimation of Section VI (equations 1–9), driven by shuffle-request hit counts over a
+  local history window α and neighbour estimates over a window γ.
+* :func:`~repro.core.sampling.generate_random_sample` — Algorithm 3's sampling rule,
+  which picks the public or the private view with probability equal to the estimated
+  ratio.
+
+Typical use::
+
+    from repro.core import Croupier, CroupierConfig
+
+    pss = Croupier(host, CroupierConfig(view_size=10, shuffle_size=5))
+    pss.initialize_view(bootstrap_nodes)
+    pss.start()
+    ...
+    address = pss.sample()          # a uniform random node, or None early on
+    ratio = pss.estimated_ratio()   # current estimate of |public| / |all|
+"""
+
+from repro.core.config import CroupierConfig
+from repro.core.croupier import Croupier
+from repro.core.estimator import RatioEstimate, RatioEstimator
+from repro.core.messages import ShuffleRequest, ShuffleResponse
+from repro.core.sampling import generate_random_sample
+
+__all__ = [
+    "Croupier",
+    "CroupierConfig",
+    "RatioEstimate",
+    "RatioEstimator",
+    "ShuffleRequest",
+    "ShuffleResponse",
+    "generate_random_sample",
+]

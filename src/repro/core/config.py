@@ -1,0 +1,84 @@
+"""Configuration for the Croupier protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.membership.base import PssConfig
+
+
+@dataclass
+class CroupierConfig(PssConfig):
+    """Croupier parameters on top of the common PSS configuration.
+
+    Attributes
+    ----------
+    local_history_alpha:
+        α — how many past rounds of shuffle-request hit counts a public node keeps when
+        computing its own local estimate (paper default for most experiments: 25).
+    neighbour_history_gamma:
+        γ — estimates received from other public nodes older than this many rounds are
+        discarded (paper default for most experiments: 50).
+    max_estimates_per_message:
+        Upper bound on the number of neighbour estimates piggy-backed on each shuffle
+        request/response. The paper uses 10, which at 5 bytes per estimate adds at most
+        50 bytes per shuffle message.
+    estimate_entry_bytes:
+        Wire size of one piggy-backed estimate (paper: 2 bytes node id, 1 byte public
+        count, 1 byte private count, 1 byte timestamp = 5 bytes).
+    pending_shuffle_timeout_rounds:
+        How many rounds an unanswered shuffle request is remembered before its state is
+        discarded (bounds memory under message loss and churn).
+    """
+
+    local_history_alpha: int = 25
+    neighbour_history_gamma: int = 50
+    max_estimates_per_message: int = 10
+    estimate_entry_bytes: int = 5
+    pending_shuffle_timeout_rounds: int = 3
+
+    def validate(self) -> None:
+        super().validate()
+        if self.local_history_alpha <= 0:
+            raise ConfigurationError(
+                f"local_history_alpha must be positive, got {self.local_history_alpha}"
+            )
+        if self.neighbour_history_gamma <= 0:
+            raise ConfigurationError(
+                "neighbour_history_gamma must be positive, got "
+                f"{self.neighbour_history_gamma}"
+            )
+        if self.max_estimates_per_message < 0:
+            raise ConfigurationError(
+                "max_estimates_per_message must be non-negative, got "
+                f"{self.max_estimates_per_message}"
+            )
+        if self.estimate_entry_bytes <= 0:
+            raise ConfigurationError(
+                f"estimate_entry_bytes must be positive, got {self.estimate_entry_bytes}"
+            )
+        if self.pending_shuffle_timeout_rounds <= 0:
+            raise ConfigurationError(
+                "pending_shuffle_timeout_rounds must be positive, got "
+                f"{self.pending_shuffle_timeout_rounds}"
+            )
+
+    # The window presets used throughout the paper's Figures 1 and 2.
+
+    @staticmethod
+    def small_windows(**kwargs) -> "CroupierConfig":
+        """α=10, γ=25 — fastest convergence, least accurate steady state."""
+        return CroupierConfig(local_history_alpha=10, neighbour_history_gamma=25, **kwargs)
+
+    @staticmethod
+    def medium_windows(**kwargs) -> "CroupierConfig":
+        """α=25, γ=50 — the paper's default balance."""
+        return CroupierConfig(local_history_alpha=25, neighbour_history_gamma=50, **kwargs)
+
+    @staticmethod
+    def large_windows(**kwargs) -> "CroupierConfig":
+        """α=100, γ=250 — slowest convergence, most accurate steady state."""
+        return CroupierConfig(
+            local_history_alpha=100, neighbour_history_gamma=250, **kwargs
+        )

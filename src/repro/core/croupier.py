@@ -1,0 +1,239 @@
+"""The Croupier peer-sampling component (Algorithm 2 of the paper).
+
+Every node — public or private — keeps a *public view* and a *private view* and, once
+per round, sends a shuffle request to the oldest descriptor in its public view. Only
+public nodes ("croupiers") ever receive shuffle requests; they shuffle public and
+private descriptors on behalf of everyone and reply with a shuffle response. Ratio
+estimates ride along on both messages.
+
+The component exposes the peer-sampling API of
+:class:`~repro.membership.base.PeerSamplingService` plus Croupier-specific
+introspection used by the experiments (estimated ratio, view snapshots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import CroupierConfig
+from repro.core.estimator import RatioEstimator
+from repro.core.messages import ShuffleRequest, ShuffleResponse
+from repro.core.sampling import generate_random_sample
+from repro.membership.base import PeerSamplingService
+from repro.membership.descriptor import NodeDescriptor
+from repro.membership.policies import select_partner
+from repro.membership.view import PartialView
+from repro.net.address import NodeAddress
+from repro.simulator.host import Host
+from repro.simulator.message import Packet
+
+
+@dataclass
+class _PendingShuffle:
+    """What this node sent in an outstanding shuffle request, keyed by partner id."""
+
+    sent_public: Tuple[NodeDescriptor, ...]
+    sent_private: Tuple[NodeDescriptor, ...]
+    issued_round: int
+
+
+class Croupier(PeerSamplingService):
+    """NAT-aware peer sampling without relaying."""
+
+    def __init__(self, host: Host, config: Optional[CroupierConfig] = None) -> None:
+        config = config or CroupierConfig()
+        super().__init__(host, config, name="Croupier")
+        self.config: CroupierConfig = config
+        self.public_view = PartialView(config.view_size)
+        self.private_view = PartialView(config.view_size)
+        self.estimator = RatioEstimator(
+            alpha=config.local_history_alpha,
+            gamma=config.neighbour_history_gamma,
+            is_public=self.address.is_public,
+        )
+        self._pending: Dict[int, _PendingShuffle] = {}
+        self.subscribe(ShuffleRequest, self._on_shuffle_request)
+        self.subscribe(ShuffleResponse, self._on_shuffle_response)
+
+    # ------------------------------------------------------------------ bootstrap
+
+    def initialize_view(self, seeds: Sequence[NodeAddress]) -> None:
+        """Seed the views from bootstrap-provided addresses.
+
+        Public seeds go into the public view and private seeds into the private view;
+        in practice the bootstrap service only hands out public nodes, but accepting
+        both keeps the method usable for tests that construct arbitrary topologies.
+        """
+        for address in seeds:
+            if address.node_id == self.address.node_id:
+                continue
+            descriptor = NodeDescriptor(address=address, age=0)
+            if address.is_public:
+                self.public_view.add(descriptor)
+            else:
+                self.private_view.add(descriptor)
+
+    # ------------------------------------------------------------------ gossip round
+
+    def on_round(self) -> None:
+        """One execution of the paper's ``Round`` procedure (Algorithm 2, lines 2–23)."""
+        self.public_view.increase_ages()
+        self.private_view.increase_ages()
+        self.estimator.advance_round()
+        self._expire_pending()
+
+        partner = select_partner(self.public_view, self.config.selection, self.rng)
+        if partner is None:
+            self.stats.rounds_skipped_empty_view += 1
+            return
+        self.public_view.remove(partner.node_id)
+
+        send_public = self.public_view.random_subset(
+            self.rng, self._outgoing_subset_size(public=True), exclude_ids=(partner.node_id,)
+        )
+        send_private = self.private_view.random_subset(
+            self.rng, self._outgoing_subset_size(public=False)
+        )
+        if self.address.is_public:
+            send_public.append(self.self_descriptor())
+        else:
+            send_private.append(self.self_descriptor())
+
+        request = ShuffleRequest(
+            sender=self.self_descriptor(),
+            public_descriptors=tuple(send_public),
+            private_descriptors=tuple(send_private),
+            estimates=tuple(
+                self.estimator.estimates_subset(
+                    self.rng, self.config.max_estimates_per_message
+                )
+            ),
+            sender_estimate=self.estimator.own_estimate_record(self.address.node_id),
+        )
+        self._pending[partner.node_id] = _PendingShuffle(
+            sent_public=tuple(send_public),
+            sent_private=tuple(send_private),
+            issued_round=self.current_round,
+        )
+        self.stats.shuffles_initiated += 1
+        self.send_to_node(partner.address, request)
+
+    def _outgoing_subset_size(self, public: bool) -> int:
+        """How many descriptors of each class to put in a shuffle message.
+
+        The shuffle subset size bounds the descriptors taken from each view; the view
+        matching the node's own class contributes one slot less because the node's own
+        fresh descriptor is appended to it.
+        """
+        if public == self.address.is_public:
+            return max(0, self.config.shuffle_size - 1)
+        return self.config.shuffle_size
+
+    def _expire_pending(self) -> None:
+        horizon = self.current_round - self.config.pending_shuffle_timeout_rounds
+        expired = [nid for nid, entry in self._pending.items() if entry.issued_round <= horizon]
+        for nid in expired:
+            del self._pending[nid]
+
+    # ------------------------------------------------------------------ handlers
+
+    def _on_shuffle_request(self, packet: Packet) -> None:
+        """Croupier-side handling (Algorithm 2, lines 25–38). Only public nodes run this."""
+        message = packet.message
+        assert isinstance(message, ShuffleRequest)
+        if not self.address.is_public:
+            # A private node received a shuffle request: protocol violation (stale or
+            # corrupt descriptor). Count it and ignore.
+            self.stats.extra["misdirected_requests"] = (
+                self.stats.extra.get("misdirected_requests", 0) + 1
+            )
+            return
+        self.stats.shuffle_requests_handled += 1
+        self.estimator.record_shuffle_request(message.sender.is_public)
+
+        reply_public = self.public_view.random_subset(
+            self.rng, self.config.shuffle_size, exclude_ids=(message.sender.node_id,)
+        )
+        reply_private = self.private_view.random_subset(
+            self.rng, self.config.shuffle_size, exclude_ids=(message.sender.node_id,)
+        )
+
+        self.public_view.update_view(
+            sent=reply_public,
+            received=list(message.public_descriptors),
+            self_id=self.address.node_id,
+        )
+        self.private_view.update_view(
+            sent=reply_private,
+            received=list(message.private_descriptors),
+            self_id=self.address.node_id,
+        )
+        self.estimator.merge_estimates([*message.estimates, message.sender_estimate])
+
+        response = ShuffleResponse(
+            sender=self.self_descriptor(),
+            public_descriptors=tuple(reply_public),
+            private_descriptors=tuple(reply_private),
+            estimates=tuple(
+                self.estimator.estimates_subset(
+                    self.rng, self.config.max_estimates_per_message
+                )
+            ),
+            sender_estimate=self.estimator.own_estimate_record(self.address.node_id),
+        )
+        # Reply to the endpoint the request arrived from: for a private requester this
+        # is its NAT's external mapping, which is exactly the path the response must
+        # take to get back through the NAT.
+        self.send(packet.source, response)
+
+    def _on_shuffle_response(self, packet: Packet) -> None:
+        """Requester-side handling (Algorithm 2, lines 40–44)."""
+        message = packet.message
+        assert isinstance(message, ShuffleResponse)
+        self.stats.shuffle_responses_received += 1
+        pending = self._pending.pop(message.sender.node_id, None)
+        sent_public: Sequence[NodeDescriptor] = pending.sent_public if pending else ()
+        sent_private: Sequence[NodeDescriptor] = pending.sent_private if pending else ()
+
+        self.public_view.update_view(
+            sent=sent_public,
+            received=list(message.public_descriptors),
+            self_id=self.address.node_id,
+        )
+        self.private_view.update_view(
+            sent=sent_private,
+            received=list(message.private_descriptors),
+            self_id=self.address.node_id,
+        )
+        self.estimator.merge_estimates([*message.estimates, message.sender_estimate])
+
+    # ------------------------------------------------------------------ sampling API
+
+    def sample(self) -> Optional[NodeAddress]:
+        self.stats.samples_served += 1
+        return generate_random_sample(
+            self.public_view,
+            self.private_view,
+            self.estimator.estimate_ratio(),
+            self.rng,
+        )
+
+    def neighbor_addresses(self) -> List[NodeAddress]:
+        return [d.address for d in self.public_view] + [
+            d.address for d in self.private_view
+        ]
+
+    # ------------------------------------------------------------------ introspection
+
+    def estimated_ratio(self) -> Optional[float]:
+        """The node's current estimate of ω, or ``None`` before any information arrives."""
+        return self.estimator.estimate_ratio()
+
+    def view_sizes(self) -> Tuple[int, int]:
+        """(public view occupancy, private view occupancy)."""
+        return len(self.public_view), len(self.private_view)
+
+    @property
+    def pending_shuffles(self) -> int:
+        return len(self._pending)

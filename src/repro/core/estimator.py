@@ -1,0 +1,224 @@
+"""Distributed estimation of the public/private node ratio (Section VI, eqs. 1–9).
+
+Every **public** node (croupier) counts, per gossip round, how many shuffle requests it
+received from public senders (``cu``) and how many from private senders (``cv``). Over a
+sliding window of the last α rounds (the *local history*), the node's local estimate is
+
+    E_i = Cu_i / (Cu_i + Cv_i)                                 (equation 6)
+
+Because every node — public or private — sends exactly one shuffle request per round to
+a uniformly chosen public node, the expected fraction of public-origin requests equals
+the global ratio ω = |U| / (|U| + |V|) (equations 1–4).
+
+Local estimates are piggy-backed on shuffle messages. Every node (public or private)
+caches the estimates it has seen from public nodes for at most γ rounds (the *neighbour
+history*) and averages them; a public node additionally includes its own local estimate
+in the average (equations 8 and 9, procedure ``estimatePublicPrivateRatio``).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RatioEstimate:
+    """One public node's local estimate, as disseminated on shuffle messages.
+
+    Attributes
+    ----------
+    origin_id:
+        The public node that produced the estimate.
+    value:
+        The estimate E_i ∈ [0, 1].
+    age:
+        Rounds since the estimate was produced; incremented by every node that stores
+        it, and used to discard estimates older than γ and to keep only the freshest
+        estimate per origin.
+    """
+
+    origin_id: int
+    value: float
+    age: int = 0
+
+    #: Paper, Section VII: "5 bytes used per estimation ... two bytes for the node
+    #: identifier, one byte each for the public and private counts, and one for the
+    #: timestamp".
+    wire_size: int = 5
+
+    def aged(self, increment: int = 1) -> "RatioEstimate":
+        return RatioEstimate(self.origin_id, self.value, self.age + increment)
+
+    def is_fresher_than(self, other: "RatioEstimate") -> bool:
+        return self.age < other.age
+
+
+class RatioEstimator:
+    """Per-node state and arithmetic for the ratio estimation protocol.
+
+    Parameters
+    ----------
+    alpha:
+        α — the local history window, in rounds.
+    gamma:
+        γ — the neighbour history window, in rounds.
+    is_public:
+        Whether the owning node is public. Private nodes never have a local estimate
+        (they receive no shuffle requests) and use equation 9 instead of 8.
+    """
+
+    def __init__(self, alpha: int, gamma: int, is_public: bool) -> None:
+        if alpha <= 0 or gamma <= 0:
+            raise ConfigurationError(f"alpha and gamma must be positive (α={alpha}, γ={gamma})")
+        self.alpha = alpha
+        self.gamma = gamma
+        self.is_public = is_public
+        # Per-round (cu, cv) pairs for the last α completed rounds.
+        self._history: Deque[Tuple[int, int]] = deque(maxlen=alpha)
+        # Hit counters for the round currently in progress.
+        self._current_public_hits = 0
+        self._current_private_hits = 0
+        # Neighbour estimates M_i keyed by origin node id.
+        self._neighbour_estimates: Dict[int, RatioEstimate] = {}
+        self.rounds = 0
+
+    # ------------------------------------------------------------------ hit counting
+
+    def record_shuffle_request(self, sender_is_public: bool) -> None:
+        """Count one received shuffle request (Algorithm 2, lines 26–30)."""
+        if sender_is_public:
+            self._current_public_hits += 1
+        else:
+            self._current_private_hits += 1
+
+    @property
+    def current_round_hits(self) -> Tuple[int, int]:
+        """The (public, private) hit counters of the round in progress."""
+        return self._current_public_hits, self._current_private_hits
+
+    # ------------------------------------------------------------------ round boundary
+
+    def advance_round(self) -> None:
+        """Per-round maintenance (Algorithm 2, lines 3–11).
+
+        Ages and prunes the neighbour estimates, recomputes the local estimate from the
+        local history (public nodes), then archives the current round's hit counters
+        into the history and resets them.
+        """
+        self.rounds += 1
+        # Age neighbour estimates and drop the ones older than γ.
+        aged: Dict[int, RatioEstimate] = {}
+        for origin_id, estimate in self._neighbour_estimates.items():
+            older = estimate.aged()
+            if older.age <= self.gamma:
+                aged[origin_id] = older
+        self._neighbour_estimates = aged
+
+        # Archive the completed round's counters (the deque enforces the α window).
+        self._history.append((self._current_public_hits, self._current_private_hits))
+        self._current_public_hits = 0
+        self._current_private_hits = 0
+
+    def _calc_hits_ratio(self) -> Optional[float]:
+        """The paper's ``CalcHitsRatio`` over the last α rounds (plus the current one)."""
+        public_count = self._current_public_hits
+        private_count = self._current_private_hits
+        for cu, cv in self._history:
+            public_count += cu
+            private_count += cv
+        total = public_count + private_count
+        if total == 0:
+            return None
+        return public_count / total
+
+    # ------------------------------------------------------------------ dissemination
+
+    def local_estimate(self) -> Optional[float]:
+        """E_i — the node's own local estimate, or ``None`` for private / cold nodes.
+
+        Always computed over the last α archived rounds plus the round in progress, so
+        the value a croupier piggy-backs on a shuffle response already reflects the
+        requests it received this round.
+        """
+        if not self.is_public:
+            return None
+        return self._calc_hits_ratio()
+
+    def own_estimate_record(self, node_id: int) -> Optional[RatioEstimate]:
+        """The node's local estimate packaged for piggy-backing, if it has one."""
+        value = self.local_estimate()
+        if value is None:
+            return None
+        return RatioEstimate(origin_id=node_id, value=value, age=0)
+
+    def merge_estimates(self, estimates: Iterable[Optional[RatioEstimate]]) -> int:
+        """Merge received estimates into the neighbour cache (keep the freshest per origin).
+
+        ``None`` entries are ignored so callers can pass ``[*subset, sender_estimate]``
+        without checking. Estimates the node produced itself are skipped for public
+        nodes (their own estimate is added separately by equation 8). Returns the
+        number of entries that changed the cache.
+        """
+        merged = 0
+        for estimate in estimates:
+            if estimate is None:
+                continue
+            if estimate.age > self.gamma:
+                continue
+            existing = self._neighbour_estimates.get(estimate.origin_id)
+            if existing is None or estimate.is_fresher_than(existing):
+                self._neighbour_estimates[estimate.origin_id] = estimate
+                merged += 1
+        return merged
+
+    def estimates_subset(self, rng: random.Random, count: int) -> List[RatioEstimate]:
+        """A bounded random subset of the neighbour cache to piggy-back on a message."""
+        values = list(self._neighbour_estimates.values())
+        if len(values) <= count:
+            return list(values)
+        return rng.sample(values, count)
+
+    # ------------------------------------------------------------------ estimation
+
+    def estimate_ratio(self) -> Optional[float]:
+        """The node's best estimate of ω (equations 8 and 9).
+
+        Public nodes average their own local estimate together with the cached
+        neighbour estimates; private nodes average only the neighbour estimates.
+        Returns ``None`` when the node has no information at all yet.
+        """
+        cached = [estimate.value for estimate in self._neighbour_estimates.values()]
+        if self.is_public:
+            own = self.local_estimate()
+            if own is not None:
+                cached = cached + [own]
+        if not cached:
+            return None
+        return sum(cached) / len(cached)
+
+    # ------------------------------------------------------------------ introspection
+
+    @property
+    def neighbour_estimate_count(self) -> int:
+        return len(self._neighbour_estimates)
+
+    def neighbour_estimates(self) -> List[RatioEstimate]:
+        """Snapshot of the cached neighbour estimates (testing/diagnostics)."""
+        return list(self._neighbour_estimates.values())
+
+    def history_snapshot(self) -> List[Tuple[int, int]]:
+        """Snapshot of the archived (cu, cv) history (testing/diagnostics)."""
+        return list(self._history)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        estimate = self.estimate_ratio()
+        rendered = "n/a" if estimate is None else f"{estimate:.3f}"
+        return (
+            f"RatioEstimator(α={self.alpha}, γ={self.gamma}, "
+            f"{'public' if self.is_public else 'private'}, estimate={rendered})"
+        )

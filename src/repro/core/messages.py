@@ -1,0 +1,64 @@
+"""Croupier's two protocol messages: the shuffle request and the shuffle response.
+
+Both carry the same kind of payload (Algorithm 2): a bounded random subset of the
+sender's public view, a bounded random subset of its private view, a bounded subset of
+the ratio estimates it has cached from public nodes, and — if the sender is itself a
+public node — its own local estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.estimator import RatioEstimate
+from repro.membership.descriptor import NodeDescriptor
+from repro.simulator.message import Message
+
+
+@dataclass
+class ShuffleRequest(Message):
+    """Sent once per round by every node (public or private) to a public node."""
+
+    sender: NodeDescriptor
+    public_descriptors: Tuple[NodeDescriptor, ...] = field(default_factory=tuple)
+    private_descriptors: Tuple[NodeDescriptor, ...] = field(default_factory=tuple)
+    estimates: Tuple[RatioEstimate, ...] = field(default_factory=tuple)
+    sender_estimate: Optional[RatioEstimate] = None
+
+    def payload_size(self) -> int:
+        size = self.sender.wire_size
+        size += sum(d.wire_size for d in self.public_descriptors)
+        size += sum(d.wire_size for d in self.private_descriptors)
+        size += sum(e.wire_size for e in self.estimates)
+        if self.sender_estimate is not None:
+            size += self.sender_estimate.wire_size
+        return size
+
+    @property
+    def descriptor_count(self) -> int:
+        return len(self.public_descriptors) + len(self.private_descriptors)
+
+
+@dataclass
+class ShuffleResponse(Message):
+    """Sent by the public node (croupier) that handled a :class:`ShuffleRequest`."""
+
+    sender: NodeDescriptor
+    public_descriptors: Tuple[NodeDescriptor, ...] = field(default_factory=tuple)
+    private_descriptors: Tuple[NodeDescriptor, ...] = field(default_factory=tuple)
+    estimates: Tuple[RatioEstimate, ...] = field(default_factory=tuple)
+    sender_estimate: Optional[RatioEstimate] = None
+
+    def payload_size(self) -> int:
+        size = self.sender.wire_size
+        size += sum(d.wire_size for d in self.public_descriptors)
+        size += sum(d.wire_size for d in self.private_descriptors)
+        size += sum(e.wire_size for e in self.estimates)
+        if self.sender_estimate is not None:
+            size += self.sender_estimate.wire_size
+        return size
+
+    @property
+    def descriptor_count(self) -> int:
+        return len(self.public_descriptors) + len(self.private_descriptors)

@@ -1,0 +1,59 @@
+"""Algorithm 3's ``generateRandomSample``: combining two views into one uniform sample.
+
+With the partial view split into a public and a private view, picking a uniformly random
+node requires knowing what fraction of the system is public: the sampler flips a biased
+coin with the estimated ratio and then draws uniformly from the corresponding view.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.membership.view import PartialView
+from repro.net.address import NodeAddress
+
+
+def generate_random_sample(
+    public_view: PartialView,
+    private_view: PartialView,
+    estimated_ratio: Optional[float],
+    rng: random.Random,
+) -> Optional[NodeAddress]:
+    """Draw one node address approximately uniformly at random over the whole system.
+
+    Parameters
+    ----------
+    public_view / private_view:
+        The node's two partial views.
+    estimated_ratio:
+        The node's current estimate of ω = |public| / (|public| + |private|). When the
+        node has no estimate yet (``None``), the sampler falls back to a uniform draw
+        over the union of both views — biased, but the best available before any
+        estimate has propagated (the paper excludes a node's first two rounds from its
+        metrics for the same reason).
+
+    Returns
+    -------
+    The sampled :class:`~repro.net.address.NodeAddress`, or ``None`` if both views are
+    empty.
+    """
+    if public_view.is_empty and private_view.is_empty:
+        return None
+
+    if estimated_ratio is None:
+        combined = public_view.descriptors() + private_view.descriptors()
+        return rng.choice(combined).address
+
+    ratio = min(1.0, max(0.0, estimated_ratio))
+    pick_public = rng.random() < ratio
+
+    primary, fallback = (
+        (public_view, private_view) if pick_public else (private_view, public_view)
+    )
+    descriptor = primary.random_descriptor(rng)
+    if descriptor is None:
+        descriptor = fallback.random_descriptor(rng)
+    if descriptor is None:
+        return None
+    return descriptor.address

@@ -1,0 +1,64 @@
+"""Experiment harnesses: one module per figure of the paper's evaluation (Section VII).
+
+Every harness is a plain function that builds a :class:`~repro.workload.Scenario`,
+drives the workload the paper describes, collects the same series the paper plots and
+returns a result object with a ``to_text()`` rendering. The default parameters are
+scaled down so the whole suite runs in minutes on a laptop; every harness accepts the
+paper-scale parameters (see EXPERIMENTS.md for the exact invocations and the measured
+results).
+
+Mapping to the paper:
+
+========================  ==========================================================
+Figure                     Harness
+========================  ==========================================================
+Figure 1 (a, b)            :func:`~repro.experiments.history_windows.run_history_window_experiment` (``dynamic=False``)
+Figure 2 (a, b)            :func:`~repro.experiments.history_windows.run_history_window_experiment` (``dynamic=True``)
+Figure 3 (a, b)            :func:`~repro.experiments.system_size.run_system_size_experiment`
+Figure 4 (a, b)            :func:`~repro.experiments.ratio_sweep.run_ratio_sweep_experiment`
+Figure 5 (a, b)            :func:`~repro.experiments.churn.run_churn_experiment`
+Figure 6 (a, b, c)         :func:`~repro.experiments.randomness.run_randomness_experiment`
+Figure 7 (a)               :func:`~repro.experiments.overhead.run_overhead_experiment`
+Figure 7 (b)               :func:`~repro.experiments.catastrophic_failure.run_failure_experiment`
+Ablations (DESIGN.md A1-A4) :mod:`~repro.experiments.ablations`
+========================  ==========================================================
+"""
+
+from repro.experiments.base import (
+    EstimationExperimentSpec,
+    EstimationRun,
+    run_estimation_scenario,
+)
+from repro.experiments.catastrophic_failure import FailureExperimentResult, run_failure_experiment
+from repro.experiments.churn import ChurnExperimentResult, run_churn_experiment
+from repro.experiments.history_windows import (
+    HistoryWindowResult,
+    run_history_window_experiment,
+)
+from repro.experiments.overhead import OverheadExperimentResult, run_overhead_experiment
+from repro.experiments.quick import QuickRunResult, quick_croupier_run
+from repro.experiments.randomness import RandomnessResult, run_randomness_experiment
+from repro.experiments.ratio_sweep import RatioSweepResult, run_ratio_sweep_experiment
+from repro.experiments.system_size import SystemSizeResult, run_system_size_experiment
+
+__all__ = [
+    "ChurnExperimentResult",
+    "EstimationExperimentSpec",
+    "EstimationRun",
+    "FailureExperimentResult",
+    "HistoryWindowResult",
+    "OverheadExperimentResult",
+    "QuickRunResult",
+    "RandomnessResult",
+    "RatioSweepResult",
+    "SystemSizeResult",
+    "quick_croupier_run",
+    "run_churn_experiment",
+    "run_estimation_scenario",
+    "run_failure_experiment",
+    "run_history_window_experiment",
+    "run_overhead_experiment",
+    "run_randomness_experiment",
+    "run_ratio_sweep_experiment",
+    "run_system_size_experiment",
+]

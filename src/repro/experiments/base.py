@@ -1,0 +1,165 @@
+"""Shared machinery for the estimation experiments (Figures 1–5).
+
+All of those figures measure the same two quantities — the average and the maximum
+estimation error across nodes, sampled once per gossip round — under different
+workloads. :func:`run_estimation_scenario` factors that loop out: build a Croupier
+scenario, attach the requested join/churn/ratio-growth processes, run round by round
+and record an :class:`~repro.metrics.estimation.EstimationErrorSeries`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import CroupierConfig
+from repro.errors import ExperimentError
+from repro.metrics.estimation import EstimationErrorSeries
+from repro.workload.churn import ChurnProcess
+from repro.workload.join import PoissonJoinProcess
+from repro.workload.ratio import RatioGrowthProcess
+from repro.workload.scenario import Scenario, ScenarioConfig
+
+
+@dataclass
+class EstimationExperimentSpec:
+    """Everything that defines one estimation run (one plotted line).
+
+    Attributes
+    ----------
+    label:
+        Name of the plotted line (e.g. ``"α=25, γ=50"``).
+    n_public / n_private:
+        Population sizes after all joins complete.
+    alpha / gamma:
+        Croupier's history-window parameters.
+    rounds:
+        How many gossip rounds to simulate (and measure).
+    seed:
+        Master seed of the run.
+    public_interarrival_ms / private_interarrival_ms:
+        Mean inter-arrival times of the Poisson join processes. ``None`` for either
+        means the corresponding population is created instantly at t=0.
+    churn_fraction / churn_start_round:
+        Steady-state churn, as a per-round replacement fraction, starting at the given
+        round (Figure 5 starts churn at t=61).
+    ratio_growth_*:
+        Optional dynamic-ratio schedule (Figure 2): starting at ``ratio_growth_start_round``
+        add ``ratio_growth_count`` public nodes, one every ``ratio_growth_interval_ms``.
+    latency:
+        Latency model name passed to the scenario ("king", "constant", "uniform").
+    measure_every_rounds:
+        Sampling cadence of the error series (1 = every round, as in the paper).
+    """
+
+    label: str
+    n_public: int
+    n_private: int
+    alpha: int = 25
+    gamma: int = 50
+    rounds: int = 150
+    seed: int = 42
+    public_interarrival_ms: Optional[float] = None
+    private_interarrival_ms: Optional[float] = None
+    churn_fraction: float = 0.0
+    churn_start_round: int = 0
+    ratio_growth_start_round: Optional[int] = None
+    ratio_growth_interval_ms: float = 42.0
+    ratio_growth_count: int = 0
+    latency: str = "king"
+    measure_every_rounds: int = 1
+    view_size: int = 10
+    shuffle_size: int = 5
+
+    def validate(self) -> None:
+        if self.n_public <= 0:
+            raise ExperimentError("n_public must be positive (Croupier needs croupiers)")
+        if self.n_private < 0:
+            raise ExperimentError("n_private must be non-negative")
+        if self.rounds <= 0:
+            raise ExperimentError("rounds must be positive")
+        if self.measure_every_rounds <= 0:
+            raise ExperimentError("measure_every_rounds must be positive")
+
+
+@dataclass
+class EstimationRun:
+    """The outcome of one estimation run: the error series plus scenario bookkeeping."""
+
+    spec: EstimationExperimentSpec
+    series: EstimationErrorSeries
+    final_true_ratio: float
+    live_nodes: int
+    summary: Dict[str, float] = field(default_factory=dict)
+
+
+def run_estimation_scenario(spec: EstimationExperimentSpec) -> EstimationRun:
+    """Run one Croupier scenario under ``spec`` and record the error series round by round."""
+    spec.validate()
+    config = CroupierConfig(
+        view_size=spec.view_size,
+        shuffle_size=spec.shuffle_size,
+        local_history_alpha=spec.alpha,
+        neighbour_history_gamma=spec.gamma,
+    )
+    scenario = Scenario(
+        ScenarioConfig(
+            protocol="croupier",
+            seed=spec.seed,
+            pss_config=config,
+            latency=spec.latency,
+        )
+    )
+
+    # --- population -------------------------------------------------------------
+    if spec.public_interarrival_ms is None and spec.private_interarrival_ms is None:
+        scenario.populate(spec.n_public, spec.n_private)
+    else:
+        public_gap = spec.public_interarrival_ms or 1.0
+        private_gap = spec.private_interarrival_ms or 1.0
+        PoissonJoinProcess(
+            scenario, public=True, count=spec.n_public, mean_interarrival_ms=public_gap
+        )
+        if spec.n_private > 0:
+            PoissonJoinProcess(
+                scenario,
+                public=False,
+                count=spec.n_private,
+                mean_interarrival_ms=private_gap,
+            )
+
+    # --- optional processes -----------------------------------------------------
+    if spec.churn_fraction > 0.0:
+        ChurnProcess(
+            scenario,
+            fraction_per_round=spec.churn_fraction,
+            start_ms=spec.churn_start_round * scenario.round_ms,
+        )
+    if spec.ratio_growth_start_round is not None and spec.ratio_growth_count > 0:
+        RatioGrowthProcess(
+            scenario,
+            start_ms=spec.ratio_growth_start_round * scenario.round_ms,
+            interval_ms=spec.ratio_growth_interval_ms,
+            count=spec.ratio_growth_count,
+        )
+
+    # --- measurement loop -------------------------------------------------------
+    series = EstimationErrorSeries(name=spec.label)
+    for round_index in range(1, spec.rounds + 1):
+        scenario.run_rounds(1)
+        if round_index % spec.measure_every_rounds != 0:
+            continue
+        true_ratio = scenario.true_ratio()
+        estimates = scenario.ratio_estimates(min_rounds=2)
+        series.record(scenario.now, true_ratio, estimates)
+
+    return EstimationRun(
+        spec=spec,
+        series=series,
+        final_true_ratio=scenario.true_ratio(),
+        live_nodes=scenario.live_count(),
+        summary={
+            "final_avg_error": series.final_avg_error() or 0.0,
+            "final_max_error": series.final_max_error() or 0.0,
+        },
+    )

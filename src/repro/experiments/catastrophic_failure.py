@@ -1,0 +1,89 @@
+"""Figure 7(b): connectivity after catastrophic failure.
+
+A large fraction of nodes (40–90 %) is killed at a single instant; the metric is the
+size of the biggest connected cluster among the survivors (as a percentage of the
+survivors). The paper runs this with 80 % private nodes and finds Croupier far more
+resilient than Gozar and Nylon — e.g. at 90 % failures Croupier's biggest cluster still
+covers more than 85 % of the surviving nodes versus roughly 55 % for the baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.experiments.report import format_table
+from repro.workload.failure import catastrophic_failure
+from repro.workload.scenario import Scenario, ScenarioConfig
+
+#: Failure percentages on the x-axis of Figure 7(b).
+PAPER_FAILURE_FRACTIONS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+#: Protocols compared in Figure 7(b).
+PAPER_PROTOCOLS = ("croupier", "gozar", "nylon", "cyclon")
+
+
+@dataclass
+class FailureExperimentResult:
+    """Biggest-cluster fraction per protocol and failure level."""
+
+    total_nodes: int
+    private_ratio: float
+    warmup_rounds: int
+    #: protocol -> {failure_fraction -> biggest-cluster fraction of survivors}
+    clusters: Dict[str, Dict[float, float]] = field(default_factory=dict)
+
+    def cluster_at(self, protocol: str, failure_fraction: float) -> float:
+        return self.clusters[protocol][failure_fraction]
+
+    def to_text(self) -> str:
+        fractions = sorted({f for per in self.clusters.values() for f in per})
+        rows = []
+        for protocol, per_fraction in self.clusters.items():
+            rows.append(
+                [protocol]
+                + [round(100.0 * per_fraction.get(f, 0.0), 1) for f in fractions]
+            )
+        headers = ["protocol"] + [f"{int(f * 100)}% fail" for f in fractions]
+        return format_table(
+            headers, rows, title="Figure 7(b): biggest cluster size (% of survivors)"
+        )
+
+
+def run_failure_experiment(
+    protocols: Sequence[str] = PAPER_PROTOCOLS,
+    failure_fractions: Sequence[float] = PAPER_FAILURE_FRACTIONS,
+    total_nodes: int = 1000,
+    private_ratio: float = 0.8,
+    warmup_rounds: int = 100,
+    seed: int = 42,
+    latency: str = "king",
+) -> FailureExperimentResult:
+    """Reproduce Figure 7(b).
+
+    Every (protocol, failure fraction) pair gets its own fresh scenario — failures are
+    destructive, so levels cannot share a run. As in the paper, Cyclon's scenario uses
+    only public nodes.
+    """
+    result = FailureExperimentResult(
+        total_nodes=total_nodes,
+        private_ratio=private_ratio,
+        warmup_rounds=warmup_rounds,
+    )
+    for protocol in protocols:
+        per_fraction: Dict[float, float] = {}
+        for fraction in failure_fractions:
+            if protocol == "cyclon":
+                n_public, n_private = total_nodes, 0
+            else:
+                n_private = int(round(total_nodes * private_ratio))
+                n_public = total_nodes - n_private
+            scenario = Scenario(
+                ScenarioConfig(protocol=protocol, seed=seed, latency=latency)
+            )
+            scenario.populate(n_public=n_public, n_private=n_private)
+            scenario.run_rounds(warmup_rounds)
+            outcome = catastrophic_failure(scenario, fraction)
+            per_fraction[fraction] = outcome.biggest_cluster_fraction
+        result.clusters[protocol] = per_fraction
+    return result

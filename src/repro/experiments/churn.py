@@ -1,0 +1,83 @@
+"""Figure 5: estimation accuracy under continuous churn.
+
+The paper replaces a fixed fraction of randomly chosen public and private nodes with
+fresh nodes every round (keeping the ratio stable), starting at t=61, and sweeps the
+per-round churn rate over 0.1 %, 1 %, 2.5 % and 5 % — the last being roughly 50× the
+churn measured in deployed P2P systems. The finding: churn up to 5 %/round has no
+significant effect on the estimation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.experiments.base import EstimationExperimentSpec, EstimationRun, run_estimation_scenario
+from repro.experiments.report import error_series_table, error_summary_table
+
+#: The per-round churn fractions of Figure 5.
+PAPER_CHURN_LEVELS = (0.001, 0.01, 0.025, 0.05)
+
+
+@dataclass
+class ChurnExperimentResult:
+    """One estimation run per churn level."""
+
+    runs: Dict[float, EstimationRun] = field(default_factory=dict)
+
+    @property
+    def series(self):
+        return [self.runs[level].series for level in sorted(self.runs)]
+
+    def final_avg_errors(self) -> Dict[float, Optional[float]]:
+        return {level: run.series.final_avg_error() for level, run in self.runs.items()}
+
+    def final_max_errors(self) -> Dict[float, Optional[float]]:
+        return {level: run.series.final_max_error() for level, run in self.runs.items()}
+
+    def to_text(self) -> str:
+        parts = [
+            error_summary_table(self.series, title="Figure 5: estimation error under churn"),
+            "",
+            error_series_table(self.series, metric="avg", title="Figure 5(a): average error"),
+            "",
+            error_series_table(self.series, metric="max", title="Figure 5(b): maximum error"),
+        ]
+        return "\n".join(parts)
+
+
+def run_churn_experiment(
+    churn_levels: Sequence[float] = PAPER_CHURN_LEVELS,
+    total_nodes: int = 1000,
+    public_ratio: float = 0.2,
+    rounds: int = 250,
+    churn_start_round: int = 61,
+    alpha: int = 25,
+    gamma: int = 50,
+    join_window_ms: float = 10_000.0,
+    seed: int = 42,
+    latency: str = "king",
+) -> ChurnExperimentResult:
+    """Reproduce Figure 5 for the given churn levels."""
+    result = ChurnExperimentResult()
+    n_public = max(1, int(round(total_nodes * public_ratio)))
+    n_private = max(0, total_nodes - n_public)
+    for level in churn_levels:
+        spec = EstimationExperimentSpec(
+            label=f"churn={level * 100:g}%",
+            n_public=n_public,
+            n_private=n_private,
+            alpha=alpha,
+            gamma=gamma,
+            rounds=rounds,
+            seed=seed,
+            public_interarrival_ms=join_window_ms / max(1, n_public),
+            private_interarrival_ms=(
+                join_window_ms / max(1, n_private) if n_private else None
+            ),
+            churn_fraction=level,
+            churn_start_round=churn_start_round,
+            latency=latency,
+        )
+        result.runs[level] = run_estimation_scenario(spec)
+    return result

@@ -1,0 +1,140 @@
+"""Figure 7(a): protocol overhead — average load per node for public and private nodes.
+
+The paper reports steady-state traffic (bytes/second averaged per node, split into
+public and private nodes) for Croupier, Gozar and Nylon, with Croupier's configuration
+using α=25, γ=100 and at most 10 piggy-backed estimates of 5 bytes each. The headline
+result: Croupier's private-node overhead is less than half of Gozar's and less than a
+quarter of Nylon's, while its public-node overhead also stays the lowest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.constants import DEFAULT_PUBLIC_RATIO
+from repro.core.config import CroupierConfig
+from repro.experiments.report import format_table
+from repro.metrics.overhead import OverheadReport, measure_overhead
+from repro.workload.scenario import Scenario, ScenarioConfig
+
+#: Protocols compared in Figure 7(a). Cyclon (public nodes only) is the baseline the
+#: paper's figure normalises against ("protocol overhead relative to Cyclon").
+PAPER_PROTOCOLS = ("croupier", "gozar", "nylon", "cyclon")
+
+
+@dataclass
+class OverheadExperimentResult:
+    """Per-protocol overhead reports plus the experiment parameters."""
+
+    total_nodes: int
+    public_ratio: float
+    warmup_rounds: int
+    measure_rounds: int
+    reports: Dict[str, OverheadReport] = field(default_factory=dict)
+
+    def public_loads(self) -> Dict[str, float]:
+        return {name: report.public_bytes_per_second for name, report in self.reports.items()}
+
+    def private_loads(self) -> Dict[str, float]:
+        return {name: report.private_bytes_per_second for name, report in self.reports.items()}
+
+    def cyclon_baseline_bps(self) -> Optional[float]:
+        """Average per-node load of the Cyclon baseline run (``None`` if not measured)."""
+        report = self.reports.get("cyclon")
+        return report.all_bytes_per_second if report is not None else None
+
+    def relative_loads(self) -> Dict[str, Dict[str, float]]:
+        """Per-protocol loads minus the Cyclon baseline — the quantity Figure 7(a) plots."""
+        baseline = self.cyclon_baseline_bps() or 0.0
+        return {
+            name: {
+                "public": report.public_bytes_per_second - baseline,
+                "private": report.private_bytes_per_second - baseline,
+            }
+            for name, report in self.reports.items()
+            if name != "cyclon"
+        }
+
+    def to_text(self) -> str:
+        baseline = self.cyclon_baseline_bps() or 0.0
+        rows = [
+            [
+                name,
+                report.public_bytes_per_second,
+                report.private_bytes_per_second,
+                report.all_bytes_per_second,
+                report.public_bytes_per_second - baseline if name != "cyclon" else None,
+                report.private_bytes_per_second - baseline if name != "cyclon" else None,
+            ]
+            for name, report in self.reports.items()
+        ]
+        return format_table(
+            [
+                "protocol",
+                "public B/s",
+                "private B/s",
+                "all B/s",
+                "public rel. Cyclon",
+                "private rel. Cyclon",
+            ],
+            rows,
+            title="Figure 7(a): average load per node (steady state)",
+        )
+
+
+def run_overhead_experiment(
+    protocols: Sequence[str] = PAPER_PROTOCOLS,
+    total_nodes: int = 1000,
+    public_ratio: float = DEFAULT_PUBLIC_RATIO,
+    warmup_rounds: int = 50,
+    measure_rounds: int = 50,
+    croupier_alpha: int = 25,
+    croupier_gamma: int = 100,
+    max_estimates_per_message: int = 10,
+    seed: int = 42,
+    latency: str = "king",
+) -> OverheadExperimentResult:
+    """Reproduce Figure 7(a).
+
+    Each protocol runs with the same population; after ``warmup_rounds`` a traffic
+    snapshot is taken and the average per-node load is measured over the following
+    ``measure_rounds``.
+    """
+    result = OverheadExperimentResult(
+        total_nodes=total_nodes,
+        public_ratio=public_ratio,
+        warmup_rounds=warmup_rounds,
+        measure_rounds=measure_rounds,
+    )
+    n_public = max(1, int(round(total_nodes * public_ratio)))
+    n_private = total_nodes - n_public
+    for protocol in protocols:
+        pss_config = None
+        if protocol == "croupier":
+            pss_config = CroupierConfig(
+                local_history_alpha=croupier_alpha,
+                neighbour_history_gamma=croupier_gamma,
+                max_estimates_per_message=max_estimates_per_message,
+            )
+        if protocol == "cyclon":
+            # The Cyclon baseline runs over public nodes only, as in the paper.
+            protocol_public, protocol_private = total_nodes, 0
+        else:
+            protocol_public, protocol_private = n_public, n_private
+        scenario = Scenario(
+            ScenarioConfig(protocol=protocol, seed=seed, latency=latency, pss_config=pss_config)
+        )
+        scenario.populate(n_public=protocol_public, n_private=protocol_private)
+        scenario.run_rounds(warmup_rounds)
+        snapshot = scenario.traffic_snapshot()
+        scenario.run_rounds(measure_rounds)
+        result.reports[protocol] = measure_overhead(
+            protocol=protocol,
+            monitor=scenario.monitor,
+            window_start=snapshot,
+            now_ms=scenario.now,
+            public_node_ids=scenario.live_public_ids(),
+            private_node_ids=scenario.live_private_ids(),
+        )
+    return result

@@ -1,0 +1,33 @@
+"""Peer-sampling machinery shared by Croupier and the baseline protocols.
+
+The module layout mirrors the design space described in the gossip peer-sampling
+literature the paper builds on (Jelasity et al. [7], Cyclon [6]):
+
+* :mod:`~repro.membership.descriptor` — node descriptors: an address, the node's NAT
+  type, an age in rounds, and optional protocol-specific payload (e.g. Gozar's relay
+  parents).
+* :mod:`~repro.membership.view` — the bounded partial view with the operations every
+  protocol needs (ageing, tail selection, random subsets, the paper's ``updateView``
+  merge).
+* :mod:`~repro.membership.policies` — named node-selection and view-merge policies so
+  experiments can ablate them (the paper uses *tail* selection with *swapper* merging
+  for all compared protocols).
+* :mod:`~repro.membership.base` — the abstract :class:`PeerSamplingService` component:
+  round timer, sample API, and the hooks the metrics collector uses.
+* :mod:`~repro.membership.cyclon`, :mod:`~repro.membership.nylon`,
+  :mod:`~repro.membership.gozar`, :mod:`~repro.membership.arrg` — the baseline
+  protocols the paper compares against (and ARRG from related work).
+"""
+
+from repro.membership.base import PeerSamplingService
+from repro.membership.descriptor import NodeDescriptor
+from repro.membership.policies import MergePolicy, SelectionPolicy
+from repro.membership.view import PartialView
+
+__all__ = [
+    "MergePolicy",
+    "NodeDescriptor",
+    "PartialView",
+    "PeerSamplingService",
+    "SelectionPolicy",
+]

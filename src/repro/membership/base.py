@@ -1,0 +1,151 @@
+"""The abstract peer-sampling service every protocol in this package implements.
+
+A peer-sampling service (PSS) runs periodic gossip rounds and, at any time, can be asked
+for a sample of live nodes drawn (ideally) uniformly at random from the whole system.
+This base class owns the round timer, the common configuration and the bookkeeping that
+the metrics collectors rely on; subclasses implement the actual shuffle in
+:meth:`PeerSamplingService.on_round` and the sampling rule in
+:meth:`PeerSamplingService.sample`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.constants import (
+    DEFAULT_ROUND_MS,
+    DEFAULT_SHUFFLE_SIZE,
+    DEFAULT_VIEW_SIZE,
+    PSS_PORT,
+)
+from repro.errors import ConfigurationError
+from repro.membership.descriptor import NodeDescriptor
+from repro.membership.policies import MergePolicy, SelectionPolicy
+from repro.net.address import NodeAddress
+from repro.simulator.component import Component
+from repro.simulator.host import Host
+
+
+@dataclass
+class PssConfig:
+    """Configuration shared by every peer-sampling protocol.
+
+    The defaults are the paper's experimental setup (Section VII-A): view size 10,
+    shuffle subset size 5, one-second rounds, tail selection and swapper merging.
+    """
+
+    view_size: int = DEFAULT_VIEW_SIZE
+    shuffle_size: int = DEFAULT_SHUFFLE_SIZE
+    round_ms: float = DEFAULT_ROUND_MS
+    #: Uniform jitter added to each round period so nodes do not fire in lockstep
+    #: ("subject to clock skew" in the paper's words).
+    round_jitter_ms: float = 50.0
+    #: Random delay before a node's first round, spreading joiners across the round.
+    start_delay_max_ms: float = 1000.0
+    selection: SelectionPolicy = SelectionPolicy.TAIL
+    merge: MergePolicy = MergePolicy.SWAPPER
+    port: int = PSS_PORT
+
+    def validate(self) -> None:
+        if self.view_size <= 0:
+            raise ConfigurationError(f"view_size must be positive, got {self.view_size}")
+        if self.shuffle_size <= 0:
+            raise ConfigurationError(
+                f"shuffle_size must be positive, got {self.shuffle_size}"
+            )
+        if self.shuffle_size > self.view_size:
+            raise ConfigurationError(
+                f"shuffle_size ({self.shuffle_size}) cannot exceed view_size "
+                f"({self.view_size})"
+            )
+        if self.round_ms <= 0:
+            raise ConfigurationError(f"round_ms must be positive, got {self.round_ms}")
+        if self.round_jitter_ms < 0 or self.start_delay_max_ms < 0:
+            raise ConfigurationError("jitter and start delay must be non-negative")
+
+
+@dataclass
+class PssStatistics:
+    """Counters every PSS maintains; read by tests and experiment reports."""
+
+    rounds: int = 0
+    shuffles_initiated: int = 0
+    shuffle_requests_handled: int = 0
+    shuffle_responses_received: int = 0
+    rounds_skipped_empty_view: int = 0
+    samples_served: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class PeerSamplingService(Component):
+    """Base component for Croupier, Cyclon, Nylon, Gozar and ARRG."""
+
+    def __init__(
+        self,
+        host: Host,
+        config: Optional[PssConfig] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.config = config or PssConfig()
+        self.config.validate()
+        super().__init__(host, self.config.port, name=name)
+        self.stats = PssStatistics()
+        self.current_round = 0
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def on_start(self) -> None:
+        initial_delay = self.rng.uniform(0.0, self.config.start_delay_max_ms)
+        self.schedule_periodic(
+            self.config.round_ms,
+            self._execute_round,
+            jitter_ms=self.config.round_jitter_ms,
+            initial_delay_ms=initial_delay,
+        )
+
+    def _execute_round(self) -> None:
+        self.current_round += 1
+        self.stats.rounds += 1
+        self.on_round()
+
+    # ------------------------------------------------------------------ protocol hooks
+
+    def on_round(self) -> None:
+        """One gossip round. Subclasses implement the shuffle here."""
+        raise NotImplementedError
+
+    def initialize_view(self, seeds: Sequence[NodeAddress]) -> None:
+        """Fill the initial view(s) from bootstrap-provided addresses."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ sampling API
+
+    def sample(self) -> Optional[NodeAddress]:
+        """One node drawn (approximately) uniformly at random, or ``None`` if unknown."""
+        raise NotImplementedError
+
+    def sample_many(self, count: int) -> List[NodeAddress]:
+        """``count`` independent samples (duplicates possible, as in a true PSS)."""
+        samples: List[NodeAddress] = []
+        for _ in range(count):
+            drawn = self.sample()
+            if drawn is not None:
+                samples.append(drawn)
+        return samples
+
+    def neighbor_addresses(self) -> List[NodeAddress]:
+        """Every node currently referenced by this node's view(s); used by graph metrics."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ helpers
+
+    def self_descriptor(self) -> NodeDescriptor:
+        """A fresh (age-0) descriptor describing this node."""
+        return NodeDescriptor(address=self.address, age=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.name}(node={self.address.node_id}, round={self.current_round}, "
+            f"{self.address.nat_type.value})"
+        )

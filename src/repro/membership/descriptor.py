@@ -1,0 +1,84 @@
+"""Node descriptors: the unit of information exchanged by every peer-sampling protocol.
+
+The paper (Section VI): "A node descriptor contains the node's address, its NAT type,
+and a timestamp storing the number of rounds since the descriptor was created."
+Protocol-specific extras (Gozar's relay parents) ride along in :attr:`NodeDescriptor.parents`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.net.address import NatType, NodeAddress
+
+
+@dataclass
+class NodeDescriptor:
+    """A (possibly stale) claim that a node exists and can be contacted.
+
+    Attributes
+    ----------
+    address:
+        The node's :class:`~repro.net.address.NodeAddress` (which carries its NAT type).
+    age:
+        Number of gossip rounds since the descriptor was created by the node itself.
+        Freshly self-created descriptors have age 0; every round each node increments
+        the age of all descriptors it stores.
+    parents:
+        Gozar only: the public relay nodes through which the (private) subject of this
+        descriptor can be reached. Empty for every other protocol.
+    """
+
+    address: NodeAddress
+    age: int = 0
+    parents: Tuple[NodeAddress, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------ identity
+
+    @property
+    def node_id(self) -> int:
+        return self.address.node_id
+
+    @property
+    def nat_type(self) -> NatType:
+        return self.address.nat_type
+
+    @property
+    def is_public(self) -> bool:
+        return self.address.is_public
+
+    @property
+    def is_private(self) -> bool:
+        return self.address.is_private
+
+    # ------------------------------------------------------------------ operations
+
+    def copy(self) -> "NodeDescriptor":
+        """An independent copy (descriptors placed in messages must never be aliased)."""
+        return NodeDescriptor(address=self.address, age=self.age, parents=self.parents)
+
+    def aged(self, increment: int = 1) -> "NodeDescriptor":
+        """A copy with the age increased by ``increment``."""
+        return NodeDescriptor(
+            address=self.address, age=self.age + increment, parents=self.parents
+        )
+
+    def is_fresher_than(self, other: "NodeDescriptor") -> bool:
+        """Whether this descriptor carries more recent information than ``other``."""
+        return self.age < other.age
+
+    def with_parents(self, parents: Tuple[NodeAddress, ...]) -> "NodeDescriptor":
+        """A copy with the relay-parent list replaced (Gozar)."""
+        return NodeDescriptor(address=self.address, age=self.age, parents=parents)
+
+    # ------------------------------------------------------------------ accounting
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes to encode the descriptor: address + age byte + any relay parents."""
+        return self.address.wire_size + 1 + sum(p.wire_size for p in self.parents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        suffix = f", parents={len(self.parents)}" if self.parents else ""
+        return f"Descriptor(node={self.node_id}, {self.nat_type.value}, age={self.age}{suffix})"

@@ -1,0 +1,198 @@
+"""The bounded partial view used by every peer-sampling protocol.
+
+Croupier keeps two of these per node (a public view and a private view); the baselines
+keep a single one. The class implements the operations the paper's pseudo-code relies
+on: ageing, tail (oldest-descriptor) selection, uniform random subsets, and the
+``updateView`` merge procedure of Algorithm 2 (lines 46–58), which is the *swapper*
+policy of Jelasity et al.: when the view is full, a descriptor we just sent to the peer
+is evicted to make room for one the peer sent us.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.membership.descriptor import NodeDescriptor
+
+
+class PartialView:
+    """A bounded set of node descriptors, at most one per node identifier."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"view capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: Dict[int, NodeDescriptor] = {}
+
+    # ------------------------------------------------------------------ container API
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[NodeDescriptor]:
+        return iter(list(self._entries.values()))
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._entries
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def free_slots(self) -> int:
+        return max(0, self.capacity - len(self._entries))
+
+    def get(self, node_id: int) -> Optional[NodeDescriptor]:
+        return self._entries.get(node_id)
+
+    def descriptors(self) -> List[NodeDescriptor]:
+        """A snapshot list of the current descriptors."""
+        return list(self._entries.values())
+
+    def node_ids(self) -> List[int]:
+        return list(self._entries.keys())
+
+    # ------------------------------------------------------------------ mutation
+
+    def add(self, descriptor: NodeDescriptor) -> bool:
+        """Insert or refresh a descriptor if there is room (or it is already present).
+
+        Returns ``True`` if the view now contains the descriptor's node. Existing
+        entries are replaced only by fresher (younger) descriptors, matching the
+        paper's ``updateView`` first branch.
+        """
+        existing = self._entries.get(descriptor.node_id)
+        if existing is not None:
+            if descriptor.is_fresher_than(existing):
+                self._entries[descriptor.node_id] = descriptor.copy()
+            return True
+        if self.is_full:
+            return False
+        self._entries[descriptor.node_id] = descriptor.copy()
+        return True
+
+    def force_add(self, descriptor: NodeDescriptor, evict: Optional[int] = None) -> None:
+        """Insert a descriptor, evicting ``evict`` (or the oldest entry) if full."""
+        if descriptor.node_id in self._entries or not self.is_full:
+            self.add(descriptor)
+            return
+        victim = evict if evict is not None and evict in self._entries else None
+        if victim is None:
+            oldest = self.oldest()
+            victim = oldest.node_id if oldest is not None else None
+        if victim is not None:
+            del self._entries[victim]
+        self._entries[descriptor.node_id] = descriptor.copy()
+
+    def remove(self, node_id: int) -> Optional[NodeDescriptor]:
+        """Remove and return the descriptor for ``node_id`` (or ``None``)."""
+        return self._entries.pop(node_id, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def increase_ages(self, increment: int = 1) -> None:
+        """Age every descriptor by ``increment`` rounds (start of each gossip round)."""
+        for node_id, descriptor in list(self._entries.items()):
+            self._entries[node_id] = descriptor.aged(increment)
+
+    def drop_older_than(self, max_age: int) -> int:
+        """Remove descriptors older than ``max_age`` rounds; returns how many were dropped."""
+        stale = [nid for nid, d in self._entries.items() if d.age > max_age]
+        for nid in stale:
+            del self._entries[nid]
+        return len(stale)
+
+    # ------------------------------------------------------------------ selection
+
+    def oldest(self, rng: Optional[random.Random] = None) -> Optional[NodeDescriptor]:
+        """The descriptor with the highest age (the *tail* policy), or ``None`` if empty.
+
+        Age ties are common (ages are small integers), so the tie-break matters: when an
+        ``rng`` is provided, a uniformly random descriptor among the oldest ones is
+        returned. A deterministic tie-break (highest node id) would concentrate shuffle
+        requests on a few nodes and bias both the load distribution and Croupier's
+        ratio estimator, which assumes shuffle targets are chosen uniformly at random.
+        Without an ``rng`` the deterministic tie-break is used (handy in tests).
+        """
+        if not self._entries:
+            return None
+        max_age = max(d.age for d in self._entries.values())
+        candidates = [d for d in self._entries.values() if d.age == max_age]
+        if rng is None or len(candidates) == 1:
+            return max(candidates, key=lambda d: d.node_id)
+        return rng.choice(candidates)
+
+    def random_descriptor(self, rng: random.Random) -> Optional[NodeDescriptor]:
+        """A uniformly random descriptor, or ``None`` if the view is empty."""
+        if not self._entries:
+            return None
+        return rng.choice(list(self._entries.values()))
+
+    def random_subset(
+        self,
+        rng: random.Random,
+        count: int,
+        exclude_ids: Optional[Iterable[int]] = None,
+    ) -> List[NodeDescriptor]:
+        """Up to ``count`` distinct descriptors chosen uniformly at random (as copies)."""
+        excluded = set(exclude_ids) if exclude_ids is not None else set()
+        candidates = [
+            descriptor
+            for node_id, descriptor in self._entries.items()
+            if node_id not in excluded
+        ]
+        if len(candidates) <= count:
+            chosen = candidates
+        else:
+            chosen = rng.sample(candidates, count)
+        return [descriptor.copy() for descriptor in chosen]
+
+    # ------------------------------------------------------------------ merging
+
+    def update_view(
+        self,
+        sent: Sequence[NodeDescriptor],
+        received: Sequence[NodeDescriptor],
+        self_id: int,
+    ) -> None:
+        """The paper's ``updateView`` procedure (Algorithm 2, lines 46–58).
+
+        For every received descriptor: refresh it if already present; otherwise add it
+        if there is free space; otherwise evict one of the descriptors *we sent to the
+        peer* (the swapper policy — the information is not lost, the peer now holds it)
+        and insert the received one. Descriptors describing ourselves are skipped.
+        """
+        sent_queue: List[NodeDescriptor] = [d for d in sent if d.node_id in self._entries]
+        for incoming in received:
+            if incoming.node_id == self_id:
+                continue
+            existing = self._entries.get(incoming.node_id)
+            if existing is not None:
+                if incoming.is_fresher_than(existing):
+                    self._entries[incoming.node_id] = incoming.copy()
+                continue
+            if not self.is_full:
+                self._entries[incoming.node_id] = incoming.copy()
+                continue
+            evicted = False
+            while sent_queue:
+                candidate = sent_queue.pop(0)
+                if candidate.node_id in self._entries:
+                    del self._entries[candidate.node_id]
+                    evicted = True
+                    break
+            if evicted:
+                self._entries[incoming.node_id] = incoming.copy()
+            # If nothing we sent is still present, the received descriptor is dropped —
+            # the view keeps its (bounded) current content, as in the paper.
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PartialView({len(self)}/{self.capacity}: {sorted(self._entries)})"

@@ -1,0 +1,40 @@
+"""Observation and analysis utilities used by the experiments.
+
+Nothing in this package participates in the protocols: these are *measurement* tools,
+the simulation-side equivalent of the paper's evaluation scripts.
+
+* :mod:`~repro.metrics.estimation` — average/maximum estimation error over time
+  (Figures 1–5).
+* :mod:`~repro.metrics.graph` — overlay graph statistics: in-degree distribution,
+  average path length, clustering coefficient (Figure 6).
+* :mod:`~repro.metrics.partition` — size of the biggest connected cluster (Figure 7b).
+* :mod:`~repro.metrics.overhead` — average per-node traffic load by NAT class
+  (Figure 7a).
+* :mod:`~repro.metrics.collector` — small time-series containers shared by the
+  experiment harnesses.
+"""
+
+from repro.metrics.collector import TimeSeries
+from repro.metrics.estimation import EstimationErrorSample, EstimationErrorSeries
+from repro.metrics.graph import (
+    average_clustering_coefficient,
+    average_path_length,
+    in_degree_distribution,
+    in_degrees,
+)
+from repro.metrics.overhead import OverheadReport, measure_overhead
+from repro.metrics.partition import connected_components, largest_cluster_fraction
+
+__all__ = [
+    "EstimationErrorSample",
+    "EstimationErrorSeries",
+    "OverheadReport",
+    "TimeSeries",
+    "average_clustering_coefficient",
+    "average_path_length",
+    "connected_components",
+    "in_degree_distribution",
+    "in_degrees",
+    "largest_cluster_fraction",
+    "measure_overhead",
+]

@@ -1,0 +1,60 @@
+"""Small time-series containers used by the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TimeSeries:
+    """A named sequence of (time, value) points.
+
+    The experiments use one series per plotted line (e.g. one per α/γ pair in Figure 1)
+    and print them with :mod:`repro.experiments.report`.
+    """
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+    def tail_average(self, count: int) -> Optional[float]:
+        """Mean of the last ``count`` values (the steady-state figure the reports quote)."""
+        if not self.values:
+            return None
+        window = self.values[-count:]
+        return sum(window) / len(window)
+
+    def minimum(self) -> Optional[float]:
+        return min(self.values) if self.values else None
+
+    def maximum(self) -> Optional[float]:
+        return max(self.values) if self.values else None
+
+    def value_at(self, time: float) -> Optional[float]:
+        """The value recorded at the latest time not exceeding ``time``."""
+        best = None
+        for t, v in zip(self.times, self.values):
+            if t <= time:
+                best = v
+            else:
+                break
+        return best
+
+
+def merge_series(series: Sequence[TimeSeries]) -> Dict[str, TimeSeries]:
+    """Index a collection of series by name (duplicate names keep the last one)."""
+    return {s.name: s for s in series}

@@ -1,0 +1,72 @@
+"""Protocol-overhead measurement (Figure 7a of the paper).
+
+The paper reports the *average load per node* in bytes per second, split into public and
+private nodes, for each protocol. :func:`measure_overhead` wraps the bookkeeping: take a
+traffic snapshot at the start of the steady-state window, run the scenario, and compute
+the per-class averages over the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from repro.simulator.monitor import TrafficMonitor, TrafficSnapshot
+
+
+@dataclass
+class OverheadReport:
+    """Average per-node traffic load over a measurement window."""
+
+    protocol: str
+    window_seconds: float
+    public_bytes_per_second: float
+    private_bytes_per_second: float
+    all_bytes_per_second: float
+
+    def as_row(self) -> Dict[str, float]:
+        """The Figure 7(a) row for this protocol."""
+        return {
+            "public B/s": round(self.public_bytes_per_second, 1),
+            "private B/s": round(self.private_bytes_per_second, 1),
+            "all B/s": round(self.all_bytes_per_second, 1),
+        }
+
+
+def measure_overhead(
+    protocol: str,
+    monitor: TrafficMonitor,
+    window_start: TrafficSnapshot,
+    now_ms: float,
+    public_node_ids: Iterable[int],
+    private_node_ids: Iterable[int],
+) -> OverheadReport:
+    """Compute the Figure 7(a) numbers for one protocol run.
+
+    Parameters
+    ----------
+    protocol:
+        Label for the report row ("croupier", "gozar", ...).
+    monitor:
+        The network's traffic monitor.
+    window_start:
+        Snapshot taken when the steady-state measurement window began.
+    now_ms:
+        Current virtual time (end of the window).
+    public_node_ids / private_node_ids:
+        The live nodes of each class during the window.
+    """
+    public_ids = set(public_node_ids)
+    private_ids = set(private_node_ids)
+    by_class = monitor.average_load_by_nat_type(window_start, now_ms, public_ids, private_ids)
+    all_ids = public_ids | private_ids
+    overall = monitor.average_load_bps(
+        window_start, now_ms, node_filter=lambda node_id: node_id in all_ids
+    )
+    return OverheadReport(
+        protocol=protocol,
+        window_seconds=(now_ms - window_start.time_ms) / 1000.0,
+        public_bytes_per_second=by_class["public"],
+        private_bytes_per_second=by_class["private"],
+        all_bytes_per_second=overall,
+    )

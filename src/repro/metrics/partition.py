@@ -1,0 +1,62 @@
+"""Connectivity metrics: connected components and the biggest-cluster fraction (Fig. 7b)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Set
+
+Adjacency = Mapping[int, Set[int]]
+
+
+def connected_components(graph: Adjacency) -> List[Set[int]]:
+    """Connected components of the overlay, treating edges as undirected.
+
+    The paper's catastrophic-failure experiment asks how much of the surviving overlay
+    remains mutually reachable; undirected connectivity is the measure used in the PSS
+    literature it builds on.
+    """
+    undirected: Dict[int, Set[int]] = {node: set() for node in graph}
+    for node, neighbours in graph.items():
+        for neighbour in neighbours:
+            if neighbour in undirected and neighbour != node:
+                undirected[node].add(neighbour)
+                undirected[neighbour].add(node)
+
+    seen: Set[int] = set()
+    components: List[Set[int]] = []
+    for start in undirected:
+        if start in seen:
+            continue
+        component = {start}
+        stack = [start]
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            for neighbour in undirected[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    component.add(neighbour)
+                    stack.append(neighbour)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_cluster_fraction(graph: Adjacency) -> float:
+    """Fraction of (surviving) nodes inside the biggest connected cluster.
+
+    This is exactly the y-axis of Figure 7(b): after killing a percentage of nodes, the
+    graph passed in contains only the survivors and their view edges towards other
+    survivors, and the metric reports ``|biggest component| / |survivors|`` (as a value
+    in [0, 1]; the paper plots it as a percentage).
+    """
+    if not graph:
+        return 0.0
+    components = connected_components(graph)
+    return len(components[0]) / len(graph)
+
+
+def partition_count(graph: Adjacency) -> int:
+    """Number of connected components (1 means the overlay is not partitioned)."""
+    if not graph:
+        return 0
+    return len(connected_components(graph))

@@ -1,0 +1,52 @@
+"""A stateful firewall: no address translation, but unsolicited inbound is blocked.
+
+The paper's system model groups firewalled nodes together with NATed nodes as *private*:
+"a private node resides behind at least one NAT or firewall, and is not reachable from
+outside its private network unless it is the private node that initiates contact"
+(Section III). :class:`FirewallBox` models that case: the host keeps its own globally
+routable IP address (no translation), but the gateway only admits inbound packets on
+flows the host opened recently.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nat.nat_box import NatBox
+from repro.nat.types import FilteringPolicy, NatProfile
+from repro.net.address import Endpoint
+
+
+class FirewallBox(NatBox):
+    """A stateful firewall in front of a single host.
+
+    The firewall claims the host's own IP on the network; outbound packets keep their
+    source endpoint unchanged, and inbound packets are admitted only if the host has an
+    unexpired outbound flow matching the configured filtering policy.
+    """
+
+    def __init__(
+        self,
+        host_ip: str,
+        filtering: FilteringPolicy = FilteringPolicy.ADDRESS_PORT_DEPENDENT,
+        flow_timeout_ms: float = 60_000.0,
+    ) -> None:
+        profile = NatProfile(
+            filtering=filtering,
+            mapping_timeout_ms=flow_timeout_ms,
+            port_preservation=True,
+        )
+        super().__init__(external_ip=host_ip, profile=profile)
+
+    def translate_outbound(
+        self, internal_source: Endpoint, destination: Endpoint, now: float
+    ) -> Optional[Endpoint]:
+        """Record the flow but keep the source endpoint unchanged (no translation)."""
+        translated = super().translate_outbound(internal_source, destination, now)
+        if translated is None:
+            return None
+        # Port preservation plus a single host behind the box guarantees that the
+        # allocated external port equals the internal one; assert the invariant so a
+        # future change to the allocator cannot silently break firewall semantics.
+        assert translated.port == internal_source.port, "firewall must not rewrite ports"
+        return Endpoint(self.external_ip, internal_source.port)

@@ -1,0 +1,184 @@
+"""The NAT gateway itself: bindings, translation, filtering and expiry.
+
+A :class:`NatBox` owns one external (public) IP address and any number of internal
+hosts. It satisfies the :class:`repro.simulator.network.NatGateway` contract, so the
+network routes every packet addressed to the NAT's external IP through
+:meth:`NatBox.accept_inbound`, and every packet sent by an internal host through
+:meth:`NatBox.translate_outbound`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.errors import NatError
+from repro.nat.allocator import AllocationPolicy, PortAllocator
+from repro.nat.types import FilteringPolicy, MappingPolicy, NatProfile
+from repro.net.address import Endpoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.host import Host
+
+
+@dataclass
+class NatBinding:
+    """One UDP mapping in the NAT's translation table.
+
+    Attributes
+    ----------
+    internal:
+        The internal endpoint (private IP and port) the binding belongs to.
+    external_port:
+        The external port allocated for it on the NAT's public IP.
+    created_at / last_refreshed:
+        Virtual timestamps (ms) used for idle expiry.
+    contacted:
+        The set of remote endpoints this binding has sent packets to; consulted by the
+        address-dependent and address-and-port-dependent filtering policies.
+    """
+
+    internal: Endpoint
+    external_port: int
+    created_at: float
+    last_refreshed: float
+    contacted: Set[Endpoint] = field(default_factory=set)
+    permanent: bool = False
+
+    def is_expired(self, now: float, timeout_ms: float) -> bool:
+        if self.permanent:
+            return False
+        return (now - self.last_refreshed) > timeout_ms
+
+    def allows_inbound(self, source: Endpoint, policy: FilteringPolicy) -> bool:
+        if policy is FilteringPolicy.ENDPOINT_INDEPENDENT:
+            return True
+        if policy is FilteringPolicy.ADDRESS_DEPENDENT:
+            return any(remote.ip == source.ip for remote in self.contacted)
+        return source in self.contacted
+
+
+class NatBox:
+    """A NAT gateway with configurable mapping, filtering and allocation behaviour."""
+
+    def __init__(
+        self,
+        external_ip: str,
+        profile: Optional[NatProfile] = None,
+        allocation: AllocationPolicy = AllocationPolicy.PORT_PRESERVATION,
+    ) -> None:
+        self.external_ip = external_ip
+        self.profile = profile or NatProfile.restricted_cone()
+        self._allocator = PortAllocator(allocation)
+        # Mapping key -> binding. The key shape depends on the mapping policy.
+        self._bindings: Dict[Tuple, NatBinding] = {}
+        # External port -> binding, for inbound lookup.
+        self._by_external_port: Dict[int, NatBinding] = {}
+        # Internal IP -> host, for final delivery.
+        self._hosts: Dict[str, "Host"] = {}
+
+    # ------------------------------------------------------------------ host attachment
+
+    def attach_host(self, host: "Host") -> None:
+        internal_ip = host.local_endpoint.ip
+        existing = self._hosts.get(internal_ip)
+        if existing is not None and existing is not host:
+            raise NatError(
+                f"NAT {self.external_ip}: internal IP {internal_ip} already attached"
+            )
+        self._hosts[internal_ip] = host
+
+    def detach_host(self, host: "Host") -> None:
+        internal_ip = host.local_endpoint.ip
+        if self._hosts.get(internal_ip) is host:
+            del self._hosts[internal_ip]
+
+    def host_for(self, internal_endpoint: Endpoint) -> Optional["Host"]:
+        return self._hosts.get(internal_endpoint.ip)
+
+    @property
+    def attached_hosts(self) -> int:
+        return len(self._hosts)
+
+    # ------------------------------------------------------------------ outbound
+
+    def translate_outbound(
+        self, internal_source: Endpoint, destination: Endpoint, now: float
+    ) -> Optional[Endpoint]:
+        """Allocate/refresh the binding for an outbound packet and return the wire source."""
+        self._expire_bindings(now)
+        key = self._mapping_key(internal_source, destination)
+        binding = self._bindings.get(key)
+        if binding is None:
+            external_port = self._allocator.allocate(preferred_port=internal_source.port)
+            binding = NatBinding(
+                internal=internal_source,
+                external_port=external_port,
+                created_at=now,
+                last_refreshed=now,
+            )
+            self._bindings[key] = binding
+            self._by_external_port[external_port] = binding
+        binding.last_refreshed = now
+        binding.contacted.add(destination)
+        return Endpoint(self.external_ip, binding.external_port)
+
+    # ------------------------------------------------------------------ inbound
+
+    def accept_inbound(
+        self, source: Endpoint, external_destination: Endpoint, now: float
+    ) -> Optional[Endpoint]:
+        """Apply filtering to an inbound packet; return the internal endpoint or ``None``."""
+        self._expire_bindings(now)
+        binding = self._by_external_port.get(external_destination.port)
+        if binding is None:
+            return None
+        if not binding.allows_inbound(source, self.profile.filtering):
+            return None
+        if self.profile.refresh_on_inbound:
+            binding.last_refreshed = now
+        return binding.internal
+
+    # ------------------------------------------------------------------ introspection
+
+    def binding_for_internal(self, internal_source: Endpoint) -> Optional[NatBinding]:
+        """Return any live binding for an internal endpoint (testing/diagnostics)."""
+        for binding in self._bindings.values():
+            if binding.internal == internal_source:
+                return binding
+        return None
+
+    @property
+    def active_bindings(self) -> int:
+        return len(self._bindings)
+
+    def has_mapping_to(self, internal_source: Endpoint, remote: Endpoint) -> bool:
+        """Whether the internal endpoint has an unexpired binding that contacted ``remote``."""
+        binding = self.binding_for_internal(internal_source)
+        return binding is not None and remote in binding.contacted
+
+    # ------------------------------------------------------------------ internals
+
+    def _mapping_key(self, internal_source: Endpoint, destination: Endpoint) -> Tuple:
+        if self.profile.mapping is MappingPolicy.ENDPOINT_INDEPENDENT:
+            return (internal_source,)
+        if self.profile.mapping is MappingPolicy.ADDRESS_DEPENDENT:
+            return (internal_source, destination.ip)
+        return (internal_source, destination.ip, destination.port)
+
+    def _expire_bindings(self, now: float) -> None:
+        expired = [
+            key
+            for key, binding in self._bindings.items()
+            if binding.is_expired(now, self.profile.mapping_timeout_ms)
+        ]
+        for key in expired:
+            binding = self._bindings.pop(key)
+            self._by_external_port.pop(binding.external_port, None)
+            self._allocator.release(binding.external_port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NatBox({self.external_ip}, {self.profile.describe()}, "
+            f"bindings={self.active_bindings})"
+        )

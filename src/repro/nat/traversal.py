@@ -1,0 +1,159 @@
+"""NAT traversal primitives used by the *baseline* protocols (Nylon, Gozar).
+
+Croupier's whole point is that it needs none of this — view exchanges are only ever sent
+to public nodes. The baselines, however, must reach private nodes, and they do so with
+two classic techniques that this module provides as reusable message types:
+
+* **Relaying** (:class:`RelayEnvelope`): the payload is wrapped in an envelope addressed
+  to a relay node, which unwraps it and forwards it (directly, or along a further chain
+  of relays) to the final private target. Gozar uses a single relay hop through one of
+  the private node's *parents*; Nylon may traverse an unbounded chain of rendezvous
+  points (RVPs).
+* **Hole punching** (:class:`HolePunchRequest` / :class:`HolePunchPing`): a rendezvous
+  node asks the private target to open an outbound flow towards the initiator, which
+  installs the NAT mapping the initiator's subsequent packets will traverse.
+* **Keep-alives** (:class:`KeepAlive`): private nodes periodically refresh the NAT
+  mappings towards their relays/RVPs so that relayed traffic keeps flowing. These
+  messages are a real cost and are accounted like any other traffic — they are part of
+  why the baselines have higher overhead in Figure 7(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.net.address import NodeAddress
+from repro.simulator.message import Message
+
+#: Extra bytes a relay envelope adds on the wire: final target address + hop counter.
+RELAY_HEADER_BYTES = 12
+
+
+@dataclass
+class RelayEnvelope(Message):
+    """A message wrapped for delivery to a private node via one or more relays.
+
+    Attributes
+    ----------
+    target:
+        The private node the payload is ultimately destined for.
+    initiator:
+        The node that originated the payload (so the target can reply directly).
+    payload:
+        The wrapped protocol message.
+    hops:
+        How many relay hops the envelope has already traversed. Incremented by each
+        relay; used both for loop protection and for the overhead statistics.
+    max_hops:
+        Relays drop the envelope once this limit is reached (loop/fragility guard).
+    """
+
+    target: NodeAddress
+    initiator: NodeAddress
+    payload: Message
+    hops: int = 0
+    max_hops: int = 16
+
+    def payload_size(self) -> int:
+        return RELAY_HEADER_BYTES + self.initiator.wire_size + self.payload.payload_size()
+
+    def forwarded(self) -> "RelayEnvelope":
+        """Return a copy with the hop counter incremented (used by each relay)."""
+        return RelayEnvelope(
+            target=self.target,
+            initiator=self.initiator,
+            payload=self.payload,
+            hops=self.hops + 1,
+            max_hops=self.max_hops,
+        )
+
+    @property
+    def exceeded_hop_limit(self) -> bool:
+        return self.hops >= self.max_hops
+
+
+@dataclass
+class HolePunchRequest(Message):
+    """Ask a private node (via its rendezvous) to open a flow towards ``initiator``."""
+
+    initiator: NodeAddress
+    target: NodeAddress
+    hops: int = 0
+    max_hops: int = 16
+
+    def payload_size(self) -> int:
+        return self.initiator.wire_size + self.target.wire_size + 2
+
+    def forwarded(self) -> "HolePunchRequest":
+        return HolePunchRequest(
+            initiator=self.initiator,
+            target=self.target,
+            hops=self.hops + 1,
+            max_hops=self.max_hops,
+        )
+
+    @property
+    def exceeded_hop_limit(self) -> bool:
+        return self.hops >= self.max_hops
+
+
+@dataclass
+class HolePunchPing(Message):
+    """The outbound packet a private node sends to punch a hole in its own NAT."""
+
+    origin: NodeAddress
+
+    def payload_size(self) -> int:
+        return self.origin.wire_size
+
+
+@dataclass
+class KeepAlive(Message):
+    """Periodic refresh of a NAT mapping towards a relay or rendezvous node."""
+
+    origin: NodeAddress
+
+    def payload_size(self) -> int:
+        return self.origin.wire_size
+
+
+@dataclass
+class KeepAliveAck(Message):
+    """Acknowledgement of a :class:`KeepAlive` (lets the sender detect dead relays)."""
+
+    origin: NodeAddress
+
+    def payload_size(self) -> int:
+        return self.origin.wire_size
+
+
+@dataclass
+class RelayRegistration(Message):
+    """A private node asking a public node to act as its relay/parent (Gozar)."""
+
+    origin: NodeAddress
+
+    def payload_size(self) -> int:
+        return self.origin.wire_size + 1
+
+
+@dataclass
+class RelayRegistrationAck(Message):
+    """A public node accepting (or refusing) a relay registration."""
+
+    origin: NodeAddress
+    accepted: bool = True
+
+    def payload_size(self) -> int:
+        return self.origin.wire_size + 1
+
+
+@dataclass
+class RelayPath(Message):
+    """Diagnostic record of the relay path a message traversed (testing only)."""
+
+    waypoints: Tuple[int, ...] = field(default_factory=tuple)
+
+    def payload_size(self) -> int:
+        return 4 * len(self.waypoints)

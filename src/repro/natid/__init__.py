@@ -1,0 +1,38 @@
+"""The paper's minimal distributed NAT-type identification protocol (Algorithm 1).
+
+A joining node decides whether it is *public* or *private* with three network messages
+and no STUN server:
+
+1. It asks the bootstrap service for a handful of public nodes.
+2. If its gateway supports UPnP IGD, it is public — done, zero messages.
+3. Otherwise it sends a ``MatchingIpTest`` to each of the returned public nodes (the
+   instances run in parallel; the first to complete wins).
+4. A public node that receives the test forwards a ``ForwardTest`` — carrying the IP
+   address it observed for the client — to a *different* public node, one that was not
+   in the client's bootstrap list (so the client's NAT cannot already hold a mapping to
+   it).
+5. That second public node sends a ``ForwardResp`` straight to the client's observed
+   address. If the client receives it and the observed IP equals its local IP, it is
+   public; if the IPs differ, or the response never arrives before the timeout, it is
+   private.
+"""
+
+from repro.natid.messages import (
+    ForwardResp,
+    ForwardTest,
+    MatchingIpTest,
+)
+from repro.natid.protocol import (
+    NatIdentificationClient,
+    NatIdentificationResult,
+    NatIdentificationServer,
+)
+
+__all__ = [
+    "ForwardResp",
+    "ForwardTest",
+    "MatchingIpTest",
+    "NatIdentificationClient",
+    "NatIdentificationResult",
+    "NatIdentificationServer",
+]

@@ -1,0 +1,222 @@
+"""Client and server components of the NAT-type identification protocol.
+
+The protocol is Algorithm 1 of the paper, split across two components:
+
+* :class:`NatIdentificationServer` runs on every public node. It answers
+  ``MatchingIpTest`` by forwarding a ``ForwardTest`` to a different public node, and
+  answers ``ForwardTest`` by sending a ``ForwardResp`` straight to the client's
+  observed address.
+* :class:`NatIdentificationClient` runs on the node under test. It short-circuits to
+  *public* if the local gateway supports UPnP IGD, otherwise launches parallel test
+  instances against the bootstrap-provided public nodes and classifies itself from the
+  first conclusive answer (or the timeout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.constants import NATID_CLIENT_PORT, NATID_SERVER_PORT
+from repro.errors import ProtocolError
+from repro.natid.messages import ForwardResp, ForwardTest, MatchingIpTest
+from repro.net.address import Endpoint, NatType, NodeAddress
+from repro.simulator.component import Component
+from repro.simulator.core import EventHandle
+from repro.simulator.host import Host
+from repro.simulator.message import Packet
+
+#: Default time the client waits for a ForwardResp before declaring itself private.
+#: The paper requires it to be "long enough to prevent false positives"; four seconds
+#: comfortably covers two King-style Internet round trips plus processing.
+DEFAULT_TIMEOUT_MS = 4_000.0
+
+
+@dataclass
+class NatIdentificationResult:
+    """Outcome of one run of the identification protocol."""
+
+    nat_type: NatType
+    reason: str
+    elapsed_ms: float
+    observed_ip: Optional[str] = None
+
+    @property
+    def is_public(self) -> bool:
+        return self.nat_type is NatType.PUBLIC
+
+
+class NatIdentificationServer(Component):
+    """Public-node side of Algorithm 1 (lines 26–34).
+
+    Parameters
+    ----------
+    host:
+        The public host the server runs on.
+    public_node_provider:
+        Callable returning the public nodes this server currently knows about; used to
+        pick the *second* public node for the forward test. In a deployed system this
+        is the node's own public view; in the experiments it is backed by the bootstrap
+        registry.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        public_node_provider: Callable[[], Sequence[NodeAddress]],
+        port: int = NATID_SERVER_PORT,
+    ) -> None:
+        super().__init__(host, port, name="NatIdServer")
+        self.public_node_provider = public_node_provider
+        self.forward_tests_sent = 0
+        self.forward_resps_sent = 0
+        self.subscribe(MatchingIpTest, self._on_matching_ip_test)
+        self.subscribe(ForwardTest, self._on_forward_test)
+
+    # ------------------------------------------------------------------ handlers
+
+    def _on_matching_ip_test(self, packet: Packet) -> None:
+        message = packet.message
+        assert isinstance(message, MatchingIpTest)
+        excluded = {node.node_id for node in message.bootstrap_nodes}
+        excluded.add(self.address.node_id)
+        second = self._pick_second_public_node(excluded)
+        if second is None:
+            # Without a second public node the test cannot proceed; the client's
+            # timeout will (conservatively) classify it as private.
+            return
+        forward = ForwardTest(
+            request_id=message.request_id,
+            observed_client=packet.source,
+            client=message.client,
+        )
+        self.forward_tests_sent += 1
+        self.send(Endpoint(second.endpoint.ip, self.port), forward)
+
+    def _on_forward_test(self, packet: Packet) -> None:
+        message = packet.message
+        assert isinstance(message, ForwardTest)
+        response = ForwardResp(
+            request_id=message.request_id,
+            observed_client=message.observed_client,
+        )
+        self.forward_resps_sent += 1
+        # Reply to the *observed* client endpoint: if the client is behind a NAT this
+        # packet will only get through if the NAT's filtering policy allows a source
+        # the client has never contacted — which is exactly the property being tested.
+        self.send(message.observed_client, response)
+
+    # ------------------------------------------------------------------ helpers
+
+    def _pick_second_public_node(self, excluded_ids: set) -> Optional[NodeAddress]:
+        candidates = [
+            node
+            for node in self.public_node_provider()
+            if node.node_id not in excluded_ids and node.is_public
+        ]
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+
+class NatIdentificationClient(Component):
+    """Client side of Algorithm 1 (lines 1–25)."""
+
+    def __init__(
+        self,
+        host: Host,
+        supports_upnp_igd: bool = False,
+        timeout_ms: float = DEFAULT_TIMEOUT_MS,
+        port: int = NATID_CLIENT_PORT,
+        server_port: int = NATID_SERVER_PORT,
+    ) -> None:
+        super().__init__(host, port, name="NatIdClient")
+        if timeout_ms <= 0:
+            raise ProtocolError(f"timeout_ms must be positive, got {timeout_ms}")
+        self.supports_upnp_igd = supports_upnp_igd
+        self.timeout_ms = timeout_ms
+        self.server_port = server_port
+        self.result: Optional[NatIdentificationResult] = None
+        self._callback: Optional[Callable[[NatIdentificationResult], None]] = None
+        self._timeout_handle: Optional[EventHandle] = None
+        self._started_at: float = 0.0
+        self._request_id = 0
+        self.subscribe(ForwardResp, self._on_forward_resp)
+
+    # ------------------------------------------------------------------ API
+
+    def identify(
+        self,
+        bootstrap_nodes: Sequence[NodeAddress],
+        callback: Optional[Callable[[NatIdentificationResult], None]] = None,
+    ) -> None:
+        """Start one identification run against the given bootstrap public nodes.
+
+        The result is delivered to ``callback`` (and stored in :attr:`result`). The
+        protocol completes immediately for UPnP-capable gateways, otherwise after the
+        first conclusive ``ForwardResp`` or after :attr:`timeout_ms`.
+        """
+        if not self.started:
+            self.start()
+        self._callback = callback
+        self._started_at = self.sim.now
+        self._request_id += 1
+
+        if self.supports_upnp_igd:
+            # Algorithm 1, lines 4–5: UPnP IGD support means the node can map a public
+            # port explicitly, so it behaves as a public node.
+            self._finish(NatType.PUBLIC, reason="upnp_igd", observed_ip=None)
+            return
+
+        public_targets: List[NodeAddress] = [n for n in bootstrap_nodes if n.is_public]
+        if not public_targets:
+            # No public node to test against: conservatively classify as private (the
+            # node cannot prove it is reachable).
+            self._finish(NatType.PRIVATE, reason="no_public_nodes", observed_ip=None)
+            return
+
+        test = MatchingIpTest(
+            request_id=self._request_id,
+            client=self.address,
+            bootstrap_nodes=tuple(public_targets),
+        )
+        for node in public_targets:
+            self.send(Endpoint(node.endpoint.ip, self.server_port), test)
+        self._timeout_handle = self.schedule(self.timeout_ms, self._on_timeout)
+
+    # ------------------------------------------------------------------ handlers
+
+    def _on_forward_resp(self, packet: Packet) -> None:
+        message = packet.message
+        assert isinstance(message, ForwardResp)
+        if self.result is not None or message.request_id != self._request_id:
+            return
+        local_ip = self.host.local_endpoint.ip
+        observed_ip = message.observed_client.ip
+        if observed_ip == local_ip:
+            self._finish(NatType.PUBLIC, reason="matching_ip", observed_ip=observed_ip)
+        else:
+            # Behind a NAT with endpoint-independent filtering: reachable on existing
+            # mappings, but the address is translated, so the node is private.
+            self._finish(NatType.PRIVATE, reason="ip_mismatch", observed_ip=observed_ip)
+
+    def _on_timeout(self) -> None:
+        if self.result is not None:
+            return
+        self._finish(NatType.PRIVATE, reason="timeout", observed_ip=None)
+
+    # ------------------------------------------------------------------ helpers
+
+    def _finish(self, nat_type: NatType, reason: str, observed_ip: Optional[str]) -> None:
+        if self._timeout_handle is not None:
+            self._timeout_handle.cancel()
+            self._timeout_handle = None
+        self.result = NatIdentificationResult(
+            nat_type=nat_type,
+            reason=reason,
+            elapsed_ms=self.sim.now - self._started_at,
+            observed_ip=observed_ip,
+        )
+        if self._callback is not None:
+            callback, self._callback = self._callback, None
+            callback(self.result)

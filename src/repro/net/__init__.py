@@ -1,0 +1,21 @@
+"""Network-level value objects: IP addresses, endpoints and node addresses.
+
+The rest of the package never manipulates raw strings for addressing; it always goes
+through :class:`~repro.net.address.Endpoint` and :class:`~repro.net.address.NodeAddress`.
+"""
+
+from repro.net.address import (
+    Endpoint,
+    NatType,
+    NodeAddress,
+    format_ipv4,
+    parse_ipv4,
+)
+
+__all__ = [
+    "Endpoint",
+    "NatType",
+    "NodeAddress",
+    "format_ipv4",
+    "parse_ipv4",
+]

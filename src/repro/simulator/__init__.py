@@ -1,0 +1,57 @@
+"""A Kompics-like discrete-event simulator for NAT-aware peer-to-peer protocols.
+
+The paper evaluates Croupier on the Kompics platform, a Java component framework with a
+discrete-event network simulator. This package provides the Python equivalent used by
+the reproduction:
+
+* :class:`~repro.simulator.core.Simulator` — the event loop, virtual clock and seeded
+  random-number streams.
+* :class:`~repro.simulator.component.Component` — the protocol building block: message
+  handlers, one-shot and periodic timers, and a start/stop lifecycle.
+* :class:`~repro.simulator.host.Host` — a simulated machine that binds components to
+  ports, optionally sits behind a :class:`~repro.nat.nat_box.NatBox`.
+* :class:`~repro.simulator.network.Network` — UDP-like datagram delivery with per-link
+  latency, probabilistic loss, NAT interposition and byte accounting.
+* latency and loss models in :mod:`~repro.simulator.latency` and
+  :mod:`~repro.simulator.loss`.
+* :class:`~repro.simulator.monitor.TrafficMonitor` — per-node traffic accounting used by
+  the protocol-overhead experiments (Figure 7a).
+
+Time is measured in **milliseconds** throughout; the paper's gossip round period of one
+second is ``1000.0``.
+"""
+
+from repro.simulator.component import Component
+from repro.simulator.core import EventHandle, Simulator
+from repro.simulator.host import Host
+from repro.simulator.latency import (
+    ConstantLatency,
+    KingLatencyModel,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.simulator.loss import BernoulliLoss, LossModel, NoLoss
+from repro.simulator.message import Message, Packet
+from repro.simulator.monitor import TrafficMonitor
+from repro.simulator.network import Network
+
+__all__ = [
+    "BernoulliLoss",
+    "Component",
+    "ConstantLatency",
+    "EventHandle",
+    "Host",
+    "KingLatencyModel",
+    "LatencyModel",
+    "LossModel",
+    "Message",
+    "Network",
+    "NoLoss",
+    "Packet",
+    "Simulator",
+    "TrafficMonitor",
+    "UniformLatency",
+]
+
+#: The gossip round period used by all experiments in the paper, in milliseconds.
+ROUND_PERIOD_MS = 1000.0

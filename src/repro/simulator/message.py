@@ -1,0 +1,83 @@
+"""Message and packet abstractions.
+
+Protocols define their messages as subclasses of :class:`Message` and give each one a
+``payload_size`` so the traffic monitor can account protocol overhead in bytes, the way
+Figure 7(a) of the paper reports it. The :class:`Packet` is what actually travels through
+the simulated network: the message plus the source and destination endpoints as observed
+*on the wire* — i.e. after NAT translation, which is what the NAT-type identification
+protocol inspects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.address import Endpoint, NodeAddress
+
+#: IPv4 header (20 bytes) + UDP header (8 bytes).
+UDP_IP_HEADER_SIZE = 28
+
+
+class Message:
+    """Base class for every protocol message.
+
+    Subclasses should be small immutable containers (dataclasses are encouraged) and
+    must override :meth:`payload_size` to report the number of payload bytes their wire
+    encoding would occupy. The simulator never serialises messages — sizes are used
+    purely for overhead accounting.
+    """
+
+    def payload_size(self) -> int:
+        """Size of the message payload in bytes (excluding IP/UDP headers)."""
+        return 0
+
+    @property
+    def wire_size(self) -> int:
+        """Total on-the-wire size in bytes including IP and UDP headers."""
+        return UDP_IP_HEADER_SIZE + self.payload_size()
+
+    @property
+    def type_name(self) -> str:
+        """Short name used for per-message-type accounting."""
+        return type(self).__name__
+
+
+@dataclass
+class Packet:
+    """A datagram in flight (or delivered).
+
+    Attributes
+    ----------
+    source:
+        The source endpoint as seen by the receiver. For a sender behind a NAT this is
+        the NAT's external mapping, not the sender's private endpoint.
+    destination:
+        The endpoint the packet was addressed to.
+    message:
+        The protocol message payload.
+    sender:
+        The :class:`NodeAddress` of the originating node, when known. This is metadata
+        for tracing and assertions only — protocol handlers must not rely on it for
+        information a real datagram would not carry (they should use addresses embedded
+        in the message instead). The NAT-type identification tests deliberately ignore
+        it.
+    sent_at:
+        Virtual time (ms) at which the packet entered the network.
+    """
+
+    source: Endpoint
+    destination: Endpoint
+    message: Message
+    sender: Optional[NodeAddress] = None
+    sent_at: float = 0.0
+
+    @property
+    def wire_size(self) -> int:
+        return self.message.wire_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.message.type_name} {self.source} -> {self.destination}, "
+            f"{self.wire_size}B)"
+        )

@@ -1,0 +1,194 @@
+"""Per-node traffic accounting.
+
+Figure 7(a) of the paper reports the *average load per node* in bytes per second,
+separately for public and private nodes, for Croupier, Gozar and Nylon. The
+:class:`TrafficMonitor` collects exactly the raw material needed for that figure (and
+for the per-message-type breakdowns used in tests): every packet sent, received,
+dropped by a NAT, or lost in transit is recorded against the node that sent or received
+it, together with its wire size.
+
+Experiments that want steady-state numbers take a :meth:`TrafficMonitor.snapshot` at
+the start of the measurement window and subtract it from a later snapshot.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.net.address import NodeAddress
+from repro.simulator.message import Message
+
+
+@dataclass
+class NodeTraffic:
+    """Cumulative traffic counters for a single node."""
+
+    tx_bytes: int = 0
+    rx_bytes: int = 0
+    tx_messages: int = 0
+    rx_messages: int = 0
+    tx_by_type: Dict[str, int] = field(default_factory=dict)
+    rx_by_type: Dict[str, int] = field(default_factory=dict)
+
+    def copy(self) -> "NodeTraffic":
+        clone = NodeTraffic(
+            tx_bytes=self.tx_bytes,
+            rx_bytes=self.rx_bytes,
+            tx_messages=self.tx_messages,
+            rx_messages=self.rx_messages,
+        )
+        clone.tx_by_type = dict(self.tx_by_type)
+        clone.rx_by_type = dict(self.rx_by_type)
+        return clone
+
+    def minus(self, other: "NodeTraffic") -> "NodeTraffic":
+        """Return the traffic accumulated since ``other`` was captured."""
+        delta = NodeTraffic(
+            tx_bytes=self.tx_bytes - other.tx_bytes,
+            rx_bytes=self.rx_bytes - other.rx_bytes,
+            tx_messages=self.tx_messages - other.tx_messages,
+            rx_messages=self.rx_messages - other.rx_messages,
+        )
+        delta.tx_by_type = {
+            name: count - other.tx_by_type.get(name, 0)
+            for name, count in self.tx_by_type.items()
+        }
+        delta.rx_by_type = {
+            name: count - other.rx_by_type.get(name, 0)
+            for name, count in self.rx_by_type.items()
+        }
+        return delta
+
+    @property
+    def total_bytes(self) -> int:
+        return self.tx_bytes + self.rx_bytes
+
+
+@dataclass
+class TrafficSnapshot:
+    """A frozen copy of all per-node counters at a point in virtual time."""
+
+    time_ms: float
+    per_node: Dict[int, NodeTraffic]
+    nat_type_by_node: Dict[int, bool]  # node_id -> is_public
+
+
+class TrafficMonitor:
+    """Collects traffic statistics for every node in a simulation run."""
+
+    def __init__(self) -> None:
+        self._per_node: Dict[int, NodeTraffic] = defaultdict(NodeTraffic)
+        self._is_public: Dict[int, bool] = {}
+        self._drops: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------ recording
+
+    def record_sent(self, sender: NodeAddress, message: Message) -> None:
+        traffic = self._per_node[sender.node_id]
+        traffic.tx_bytes += message.wire_size
+        traffic.tx_messages += 1
+        traffic.tx_by_type[message.type_name] = (
+            traffic.tx_by_type.get(message.type_name, 0) + message.wire_size
+        )
+        self._is_public[sender.node_id] = sender.is_public
+
+    def record_received(self, receiver: NodeAddress, message: Message) -> None:
+        traffic = self._per_node[receiver.node_id]
+        traffic.rx_bytes += message.wire_size
+        traffic.rx_messages += 1
+        traffic.rx_by_type[message.type_name] = (
+            traffic.rx_by_type.get(message.type_name, 0) + message.wire_size
+        )
+        self._is_public[receiver.node_id] = receiver.is_public
+
+    def record_drop(self, reason: str) -> None:
+        """Record a packet that never reached a node (NAT filtered, lost, dead host)."""
+        self._drops[reason] += 1
+
+    # ------------------------------------------------------------------ queries
+
+    def node_traffic(self, node_id: int) -> NodeTraffic:
+        """Cumulative traffic for one node (zeros if the node never communicated)."""
+        return self._per_node.get(node_id, NodeTraffic())
+
+    def drop_count(self, reason: Optional[str] = None) -> int:
+        if reason is None:
+            return sum(self._drops.values())
+        return self._drops.get(reason, 0)
+
+    @property
+    def drop_reasons(self) -> Dict[str, int]:
+        return dict(self._drops)
+
+    def snapshot(self, time_ms: float) -> TrafficSnapshot:
+        """Capture a copy of all counters, for windowed (steady-state) measurements."""
+        return TrafficSnapshot(
+            time_ms=time_ms,
+            per_node={node_id: t.copy() for node_id, t in self._per_node.items()},
+            nat_type_by_node=dict(self._is_public),
+        )
+
+    def average_load_bps(
+        self,
+        since: TrafficSnapshot,
+        now_ms: float,
+        node_filter: Optional[Callable[[int], bool]] = None,
+        include_rx: bool = True,
+        include_tx: bool = True,
+    ) -> float:
+        """Average per-node load in bytes/second over the window ``[since, now]``.
+
+        Parameters
+        ----------
+        since:
+            The snapshot taken at the start of the measurement window.
+        now_ms:
+            Current virtual time in milliseconds.
+        node_filter:
+            Restrict the average to nodes for which the predicate returns ``True``
+            (e.g. only public nodes). Nodes with no recorded traffic in the window are
+            still counted in the denominator if they appear in the snapshot.
+        """
+        window_seconds = (now_ms - since.time_ms) / 1000.0
+        if window_seconds <= 0:
+            return 0.0
+        node_ids = set(self._per_node) | set(since.per_node)
+        if node_filter is not None:
+            node_ids = {node_id for node_id in node_ids if node_filter(node_id)}
+        if not node_ids:
+            return 0.0
+        total = 0.0
+        for node_id in node_ids:
+            current = self._per_node.get(node_id, NodeTraffic())
+            baseline = since.per_node.get(node_id, NodeTraffic())
+            delta = current.minus(baseline)
+            if include_tx:
+                total += delta.tx_bytes
+            if include_rx:
+                total += delta.rx_bytes
+        return total / window_seconds / len(node_ids)
+
+    def average_load_by_nat_type(
+        self,
+        since: TrafficSnapshot,
+        now_ms: float,
+        public_node_ids: Iterable[int],
+        private_node_ids: Iterable[int],
+    ) -> Dict[str, float]:
+        """Average load (B/s) for public and for private nodes — the Figure 7(a) rows."""
+        public_set = set(public_node_ids)
+        private_set = set(private_node_ids)
+        return {
+            "public": self.average_load_bps(
+                since, now_ms, node_filter=lambda node_id: node_id in public_set
+            ),
+            "private": self.average_load_bps(
+                since, now_ms, node_filter=lambda node_id: node_id in private_set
+            ),
+        }
+
+    def is_public(self, node_id: int) -> Optional[bool]:
+        """Last-known NAT class of a node, or ``None`` if it never communicated."""
+        return self._is_public.get(node_id)

@@ -1,0 +1,206 @@
+"""The simulated datagram network with NAT interposition.
+
+Every packet goes through the same pipeline, which mirrors what a UDP datagram
+experiences on the real Internet path the paper's protocols care about:
+
+1. **Outbound translation.** If the sender is behind a NAT, the NAT box allocates (or
+   refreshes) a mapping and the packet's wire source becomes the NAT's external
+   endpoint. This is how receivers observe private senders — exactly the observation
+   Croupier's NAT-type identification protocol and ratio estimator rely on.
+2. **Loss.** The configured :class:`~repro.simulator.loss.LossModel` may silently drop
+   the packet.
+3. **Latency.** The configured :class:`~repro.simulator.latency.LatencyModel` assigns a
+   one-way delay and the delivery is scheduled on the simulator.
+4. **Inbound filtering.** If the destination IP belongs to a NAT box, the box checks its
+   mapping table and filtering policy; packets with no matching mapping are dropped
+   (this is what makes private nodes unreachable for unsolicited traffic). Otherwise the
+   destination is a public host and the packet is delivered directly.
+5. **Dispatch.** The receiving host hands the packet to the component bound on the
+   destination port.
+
+All traffic is accounted in a :class:`~repro.simulator.monitor.TrafficMonitor`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.errors import NetworkError
+from repro.net.address import Endpoint, parse_ipv4
+from repro.simulator.core import Simulator
+from repro.simulator.host import Host
+from repro.simulator.latency import ConstantLatency, LatencyModel
+from repro.simulator.loss import LossModel, NoLoss
+from repro.simulator.message import Message, Packet
+from repro.simulator.monitor import TrafficMonitor
+
+
+class Network:
+    """UDP-like datagram delivery between hosts, with NAT and firewall interposition."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_model: Optional[LatencyModel] = None,
+        loss_model: Optional[LossModel] = None,
+        monitor: Optional[TrafficMonitor] = None,
+    ) -> None:
+        self.sim = sim
+        self.latency_model = latency_model or ConstantLatency(50.0)
+        self.loss_model = loss_model or NoLoss()
+        self.monitor = monitor or TrafficMonitor()
+        self.rng = sim.derive_rng("network")
+        # Maps an IP address to whatever answers for it: a public Host or a NAT box.
+        self._ip_table: Dict[str, Union[Host, "NatGateway"]] = {}
+        self._packets_sent = 0
+        self._packets_delivered = 0
+
+    # ------------------------------------------------------------------ registration
+
+    def register_host(self, host: Host) -> None:
+        """Attach a host to the network.
+
+        Public hosts claim their own IP address. Private hosts are attached *behind*
+        their NAT box; the NAT box claims its external IP (idempotently, so several
+        private hosts can share one NAT).
+        """
+        if host.natbox is None:
+            ip = host.address.endpoint.ip
+            existing = self._ip_table.get(ip)
+            if existing is not None and existing is not host:
+                raise NetworkError(f"IP {ip} already registered to {existing!r}")
+            self._ip_table[ip] = host
+        else:
+            natbox = host.natbox
+            existing = self._ip_table.get(natbox.external_ip)
+            if existing is None:
+                self._ip_table[natbox.external_ip] = natbox
+            elif existing is not natbox:
+                raise NetworkError(
+                    f"external IP {natbox.external_ip} already registered to {existing!r}"
+                )
+            natbox.attach_host(host)
+
+    def unregister_host(self, host: Host) -> None:
+        """Detach a (failed) host. NAT boxes stay registered; they just lead nowhere."""
+        if host.natbox is None:
+            current = self._ip_table.get(host.address.endpoint.ip)
+            if current is host:
+                del self._ip_table[host.address.endpoint.ip]
+        else:
+            host.natbox.detach_host(host)
+
+    def lookup_ip(self, ip: str) -> Optional[Union[Host, "NatGateway"]]:
+        """Return whatever answers for ``ip`` (used by tests and the NAT substrate)."""
+        return self._ip_table.get(ip)
+
+    # ------------------------------------------------------------------ sending
+
+    def send(self, host: Host, src_port: int, destination: Endpoint, message: Message) -> None:
+        """Send one datagram. See the module docstring for the pipeline."""
+        if not host.alive:
+            return
+        internal_source = Endpoint(host.local_endpoint.ip, src_port)
+        if host.natbox is not None:
+            wire_source = host.natbox.translate_outbound(
+                internal_source, destination, self.sim.now
+            )
+            if wire_source is None:
+                self.monitor.record_drop("nat_allocation_failed")
+                return
+        else:
+            wire_source = internal_source
+
+        self.monitor.record_sent(host.address, message)
+        self._packets_sent += 1
+
+        if self.loss_model.should_drop(self.rng, host.address, destination.ip):
+            self.monitor.record_drop("link_loss")
+            return
+
+        delay = self.latency_model.latency(
+            parse_ipv4(wire_source.ip), parse_ipv4(destination.ip)
+        )
+        packet = Packet(
+            source=wire_source,
+            destination=destination,
+            message=message,
+            sender=host.address,
+            sent_at=self.sim.now,
+        )
+        self.sim.schedule(delay, lambda: self._deliver(packet))
+
+    # ------------------------------------------------------------------ delivery
+
+    def _deliver(self, packet: Packet) -> None:
+        target = self._ip_table.get(packet.destination.ip)
+        if target is None:
+            self.monitor.record_drop("unknown_destination")
+            return
+        if isinstance(target, Host):
+            self._packets_delivered += 1
+            target.deliver(packet)
+            return
+        # The destination IP belongs to a NAT box: apply inbound filtering.
+        internal = target.accept_inbound(packet.source, packet.destination, self.sim.now)
+        if internal is None:
+            self.monitor.record_drop("nat_filtered")
+            return
+        inner_host = target.host_for(internal)
+        if inner_host is None or not inner_host.alive:
+            self.monitor.record_drop("dead_host")
+            return
+        rewritten = Packet(
+            source=packet.source,
+            destination=internal,
+            message=packet.message,
+            sender=packet.sender,
+            sent_at=packet.sent_at,
+        )
+        self._packets_delivered += 1
+        inner_host.deliver(rewritten)
+
+    # ------------------------------------------------------------------ stats
+
+    @property
+    def packets_sent(self) -> int:
+        return self._packets_sent
+
+    @property
+    def packets_delivered(self) -> int:
+        return self._packets_delivered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(hosts={len(self._ip_table)}, sent={self._packets_sent}, "
+            f"delivered={self._packets_delivered})"
+        )
+
+
+class NatGateway:
+    """Protocol (interface) that NAT boxes implement so the network can route through them.
+
+    Defined here to document the contract without importing :mod:`repro.nat` (which
+    would create an import cycle); :class:`repro.nat.nat_box.NatBox` satisfies it.
+    """
+
+    external_ip: str
+
+    def attach_host(self, host: Host) -> None:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+    def detach_host(self, host: Host) -> None:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+    def translate_outbound(
+        self, internal_source: Endpoint, destination: Endpoint, now: float
+    ) -> Optional[Endpoint]:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+    def accept_inbound(
+        self, source: Endpoint, external_destination: Endpoint, now: float
+    ) -> Optional[Endpoint]:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+    def host_for(self, internal_endpoint: Endpoint) -> Optional[Host]:  # pragma: no cover
+        raise NotImplementedError

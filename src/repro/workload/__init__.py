@@ -1,0 +1,33 @@
+"""Workload and scenario construction: joins, churn, failures, ratio schedules.
+
+The central abstraction is :class:`~repro.workload.scenario.Scenario`, which wires a
+simulator, a network, a bootstrap registry and any number of protocol nodes together,
+and exposes the operations the experiments need (run N rounds, kill a fraction of
+nodes, read the overlay graph, read every node's ratio estimate, ...).
+
+The remaining modules are *processes* that drive a scenario over time, mirroring the
+paper's experimental setups:
+
+* :mod:`~repro.workload.join` — Poisson join processes (Section VII-B setups).
+* :mod:`~repro.workload.churn` — steady-state churn: replace a fixed fraction of nodes
+  per round while preserving the public/private ratio (Figure 5).
+* :mod:`~repro.workload.failure` — catastrophic failure: kill a percentage of all nodes
+  at one instant (Figure 7b).
+* :mod:`~repro.workload.ratio` — dynamic public/private ratio schedules (Figure 2).
+"""
+
+from repro.workload.churn import ChurnProcess
+from repro.workload.failure import catastrophic_failure
+from repro.workload.join import PoissonJoinProcess
+from repro.workload.ratio import RatioGrowthProcess
+from repro.workload.scenario import NodeHandle, Scenario, ScenarioConfig
+
+__all__ = [
+    "ChurnProcess",
+    "NodeHandle",
+    "PoissonJoinProcess",
+    "RatioGrowthProcess",
+    "Scenario",
+    "ScenarioConfig",
+    "catastrophic_failure",
+]

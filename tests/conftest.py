@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite: simulators, networks, hosts and NAT boxes."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.nat.nat_box import NatBox
+from repro.nat.types import NatProfile
+from repro.net.address import Endpoint, NatType, NodeAddress
+from repro.simulator.core import Simulator
+from repro.simulator.latency import ConstantLatency
+from repro.simulator.host import Host
+from repro.simulator.monitor import TrafficMonitor
+from repro.simulator.network import Network
+
+_node_counter = itertools.count(1)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def monitor() -> TrafficMonitor:
+    return TrafficMonitor()
+
+
+@pytest.fixture
+def network(sim, monitor) -> Network:
+    return Network(sim, latency_model=ConstantLatency(10.0), monitor=monitor)
+
+
+class HostFactory:
+    """Creates public and private hosts with unique, valid addresses."""
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+        self._public_ip = itertools.count(1)
+        self._nat_ip = itertools.count(1)
+        self._private_ip = itertools.count(1)
+
+    def public_host(self, port: int = 7000) -> Host:
+        node_id = next(_node_counter)
+        ip = f"1.0.{next(self._public_ip) // 250}.{next(self._public_ip) % 250 + 1}"
+        address = NodeAddress(
+            node_id=node_id, endpoint=Endpoint(ip, port), nat_type=NatType.PUBLIC
+        )
+        return Host(self.sim, self.network, address)
+
+    def private_host(self, port: int = 7000, profile: NatProfile = None) -> Host:
+        node_id = next(_node_counter)
+        external = f"2.0.{next(self._nat_ip) // 250}.{next(self._nat_ip) % 250 + 1}"
+        internal = f"10.0.{next(self._private_ip) // 250}.{next(self._private_ip) % 250 + 1}"
+        natbox = NatBox(external, profile=profile or NatProfile.restricted_cone())
+        address = NodeAddress(
+            node_id=node_id,
+            endpoint=Endpoint(external, port),
+            nat_type=NatType.PRIVATE,
+            private_endpoint=Endpoint(internal, port),
+        )
+        return Host(self.sim, self.network, address, natbox=natbox)
+
+
+@pytest.fixture
+def hosts(sim, network) -> HostFactory:
+    return HostFactory(sim, network)

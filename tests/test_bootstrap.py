@@ -1,0 +1,103 @@
+"""Tests for the bootstrap registry, server and client."""
+
+import pytest
+
+from repro.bootstrap.registry import BootstrapRegistry
+from repro.bootstrap.server import BootstrapClient, BootstrapServer
+from repro.net.address import Endpoint, NatType, NodeAddress
+
+
+def public_address(node_id):
+    return NodeAddress(node_id, Endpoint(f"1.0.0.{node_id}", 7000), NatType.PUBLIC)
+
+
+def private_address(node_id):
+    return NodeAddress(
+        node_id,
+        Endpoint(f"2.0.0.{node_id}", 7000),
+        NatType.PRIVATE,
+        private_endpoint=Endpoint(f"10.0.0.{node_id}", 7000),
+    )
+
+
+class TestRegistry:
+    def test_register_accepts_public_only(self):
+        registry = BootstrapRegistry()
+        assert registry.register(public_address(1))
+        assert not registry.register(private_address(2))
+        assert len(registry) == 1
+        assert 1 in registry and 2 not in registry
+
+    def test_unregister(self):
+        registry = BootstrapRegistry()
+        registry.register(public_address(1))
+        registry.unregister(1)
+        assert len(registry) == 0
+        registry.unregister(99)  # unknown ids are ignored
+
+    def test_sample_excludes_requester(self):
+        registry = BootstrapRegistry()
+        for node_id in range(1, 6):
+            registry.register(public_address(node_id))
+        sample = registry.sample(10, exclude_id=3)
+        assert len(sample) == 4
+        assert all(a.node_id != 3 for a in sample)
+
+    def test_sample_bounded_by_count(self):
+        registry = BootstrapRegistry()
+        for node_id in range(1, 21):
+            registry.register(public_address(node_id))
+        assert len(registry.sample(5)) == 5
+
+    def test_all_public_snapshot(self):
+        registry = BootstrapRegistry()
+        registry.register(public_address(1))
+        assert [a.node_id for a in registry.all_public()] == [1]
+
+
+class TestBootstrapMessages:
+    def test_request_response_flow(self, sim, hosts):
+        server_host = hosts.public_host(port=2000)
+        registry = BootstrapRegistry()
+        for node_id in range(100, 105):
+            registry.register(public_address(node_id))
+        server = BootstrapServer(server_host, registry=registry)
+        server.start()
+
+        client_host = hosts.public_host()
+        client = BootstrapClient(
+            client_host, server_endpoint=Endpoint(server_host.address.endpoint.ip, 2000)
+        )
+        received = []
+        client.request(count=3, callback=lambda nodes: received.extend(nodes))
+        sim.run()
+        assert len(received) == 3
+        assert client.last_response is not None
+        assert server.requests_served == 1
+
+    def test_public_requester_gets_registered(self, sim, hosts):
+        server_host = hosts.public_host(port=2000)
+        server = BootstrapServer(server_host)
+        server.start()
+        client_host = hosts.public_host()
+        client = BootstrapClient(
+            client_host, server_endpoint=Endpoint(server_host.address.endpoint.ip, 2000)
+        )
+        client.request()
+        sim.run()
+        assert client_host.node_id in server.registry
+
+    def test_private_client_receives_response_through_nat(self, sim, hosts):
+        server_host = hosts.public_host(port=2000)
+        registry = BootstrapRegistry()
+        registry.register(public_address(50))
+        server = BootstrapServer(server_host, registry=registry)
+        server.start()
+        client_host = hosts.private_host()
+        client = BootstrapClient(
+            client_host, server_endpoint=Endpoint(server_host.address.endpoint.ip, 2000)
+        )
+        received = []
+        client.request(count=1, callback=lambda nodes: received.extend(nodes))
+        sim.run()
+        assert [a.node_id for a in received] == [50]

@@ -1,0 +1,227 @@
+"""Unit tests for node descriptors and bounded partial views."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.membership.descriptor import NodeDescriptor
+from repro.membership.view import PartialView
+from repro.net.address import Endpoint, NatType, NodeAddress
+
+
+def make_descriptor(node_id: int, age: int = 0, public: bool = True) -> NodeDescriptor:
+    nat_type = NatType.PUBLIC if public else NatType.PRIVATE
+    prefix = "1.0" if public else "2.0"
+    address = NodeAddress(
+        node_id=node_id,
+        endpoint=Endpoint(f"{prefix}.{node_id // 250}.{node_id % 250 + 1}", 7000),
+        nat_type=nat_type,
+        private_endpoint=None if public else Endpoint(f"10.0.{node_id // 250}.{node_id % 250 + 1}", 7000),
+    )
+    return NodeDescriptor(address=address, age=age)
+
+
+class TestNodeDescriptor:
+    def test_basic_properties(self):
+        d = make_descriptor(5, age=3)
+        assert d.node_id == 5
+        assert d.age == 3
+        assert d.is_public and not d.is_private
+
+    def test_aged_returns_copy(self):
+        d = make_descriptor(1, age=2)
+        older = d.aged()
+        assert older.age == 3
+        assert d.age == 2
+
+    def test_copy_is_independent(self):
+        d = make_descriptor(1)
+        clone = d.copy()
+        assert clone is not d
+        assert clone.node_id == d.node_id and clone.age == d.age
+
+    def test_freshness_comparison(self):
+        assert make_descriptor(1, age=1).is_fresher_than(make_descriptor(1, age=5))
+        assert not make_descriptor(1, age=5).is_fresher_than(make_descriptor(1, age=1))
+
+    def test_wire_size_without_parents(self):
+        assert make_descriptor(1).wire_size == 12  # 11-byte address + 1-byte age
+
+    def test_wire_size_with_parents(self):
+        parents = (make_descriptor(2).address, make_descriptor(3).address)
+        d = make_descriptor(1, public=False).with_parents(parents)
+        assert d.wire_size == 12 + 2 * 11
+        assert d.parents == parents
+
+
+class TestPartialViewBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartialView(0)
+
+    def test_add_until_full(self):
+        view = PartialView(3)
+        for node_id in range(3):
+            assert view.add(make_descriptor(node_id))
+        assert view.is_full
+        assert not view.add(make_descriptor(99))
+        assert len(view) == 3
+
+    def test_add_refreshes_existing_with_fresher(self):
+        view = PartialView(3)
+        view.add(make_descriptor(1, age=5))
+        view.add(make_descriptor(1, age=2))
+        assert view.get(1).age == 2
+
+    def test_add_keeps_existing_when_stale(self):
+        view = PartialView(3)
+        view.add(make_descriptor(1, age=2))
+        view.add(make_descriptor(1, age=9))
+        assert view.get(1).age == 2
+
+    def test_remove_and_contains(self):
+        view = PartialView(3)
+        view.add(make_descriptor(1))
+        assert 1 in view
+        removed = view.remove(1)
+        assert removed.node_id == 1
+        assert 1 not in view
+        assert view.remove(1) is None
+
+    def test_descriptors_are_copies(self):
+        view = PartialView(3)
+        original = make_descriptor(1, age=0)
+        view.add(original)
+        original.age = 99
+        assert view.get(1).age == 0
+
+    def test_force_add_evicts_oldest_by_default(self):
+        view = PartialView(2)
+        view.add(make_descriptor(1, age=9))
+        view.add(make_descriptor(2, age=1))
+        view.force_add(make_descriptor(3, age=0))
+        assert 3 in view and 1 not in view
+
+    def test_clear_and_free_slots(self):
+        view = PartialView(4)
+        view.add(make_descriptor(1))
+        assert view.free_slots == 3
+        view.clear()
+        assert view.is_empty
+
+
+class TestAgeing:
+    def test_increase_ages(self):
+        view = PartialView(5)
+        view.add(make_descriptor(1, age=0))
+        view.add(make_descriptor(2, age=3))
+        view.increase_ages()
+        assert view.get(1).age == 1
+        assert view.get(2).age == 4
+
+    def test_drop_older_than(self):
+        view = PartialView(5)
+        view.add(make_descriptor(1, age=1))
+        view.add(make_descriptor(2, age=10))
+        dropped = view.drop_older_than(5)
+        assert dropped == 1
+        assert 1 in view and 2 not in view
+
+
+class TestSelection:
+    def test_oldest_without_rng_breaks_ties_by_id(self):
+        view = PartialView(5)
+        view.add(make_descriptor(1, age=4))
+        view.add(make_descriptor(2, age=4))
+        view.add(make_descriptor(3, age=1))
+        assert view.oldest().node_id == 2
+
+    def test_oldest_with_rng_is_uniform_over_ties(self):
+        view = PartialView(5)
+        for node_id in range(1, 5):
+            view.add(make_descriptor(node_id, age=7))
+        rng = random.Random(0)
+        chosen = {view.oldest(rng).node_id for _ in range(200)}
+        assert chosen == {1, 2, 3, 4}
+
+    def test_oldest_prefers_strictly_older(self):
+        view = PartialView(5)
+        view.add(make_descriptor(1, age=2))
+        view.add(make_descriptor(2, age=9))
+        assert view.oldest(random.Random(0)).node_id == 2
+
+    def test_oldest_empty_view(self):
+        assert PartialView(3).oldest() is None
+
+    def test_random_descriptor(self):
+        view = PartialView(5)
+        view.add(make_descriptor(1))
+        assert view.random_descriptor(random.Random(0)).node_id == 1
+        assert PartialView(3).random_descriptor(random.Random(0)) is None
+
+    def test_random_subset_size_and_exclusion(self):
+        view = PartialView(10)
+        for node_id in range(10):
+            view.add(make_descriptor(node_id))
+        rng = random.Random(1)
+        subset = view.random_subset(rng, 4, exclude_ids=(0, 1))
+        assert len(subset) == 4
+        assert all(d.node_id not in (0, 1) for d in subset)
+        # asking for more than available returns all candidates
+        everything = view.random_subset(rng, 50)
+        assert len(everything) == 10
+
+    def test_random_subset_returns_copies(self):
+        view = PartialView(3)
+        view.add(make_descriptor(1, age=0))
+        subset = view.random_subset(random.Random(0), 1)
+        subset[0].age = 42
+        assert view.get(1).age == 0
+
+
+class TestUpdateView:
+    """The swapper merge of Algorithm 2 (lines 46–58)."""
+
+    def test_adds_when_space_available(self):
+        view = PartialView(5)
+        view.update_view(sent=[], received=[make_descriptor(1), make_descriptor(2)], self_id=99)
+        assert len(view) == 2
+
+    def test_skips_own_descriptor(self):
+        view = PartialView(5)
+        view.update_view(sent=[], received=[make_descriptor(99)], self_id=99)
+        assert len(view) == 0
+
+    def test_refreshes_existing_entries(self):
+        view = PartialView(5)
+        view.add(make_descriptor(1, age=8))
+        view.update_view(sent=[], received=[make_descriptor(1, age=0)], self_id=99)
+        assert view.get(1).age == 0
+
+    def test_swaps_out_sent_descriptors_when_full(self):
+        view = PartialView(3)
+        for node_id in (1, 2, 3):
+            view.add(make_descriptor(node_id))
+        sent = [view.get(1)]
+        view.update_view(sent=sent, received=[make_descriptor(7)], self_id=99)
+        assert 7 in view
+        assert 1 not in view
+        assert len(view) == 3
+
+    def test_drops_received_when_full_and_nothing_was_sent(self):
+        view = PartialView(2)
+        view.add(make_descriptor(1))
+        view.add(make_descriptor(2))
+        view.update_view(sent=[], received=[make_descriptor(3)], self_id=99)
+        assert 3 not in view
+        assert len(view) == 2
+
+    def test_never_exceeds_capacity(self):
+        view = PartialView(4)
+        for node_id in range(4):
+            view.add(make_descriptor(node_id))
+        sent = view.random_subset(random.Random(0), 2)
+        received = [make_descriptor(100 + i) for i in range(6)]
+        view.update_view(sent=sent, received=received, self_id=99)
+        assert len(view) <= 4

@@ -1,0 +1,214 @@
+"""Integration tests for the experiment harnesses (scaled-down versions of each figure)."""
+
+import pytest
+
+from repro.experiments import (
+    quick_croupier_run,
+    run_churn_experiment,
+    run_failure_experiment,
+    run_history_window_experiment,
+    run_overhead_experiment,
+    run_randomness_experiment,
+    run_ratio_sweep_experiment,
+    run_system_size_experiment,
+)
+from repro.experiments.ablations import (
+    run_piggyback_bound_ablation,
+    run_selection_policy_ablation,
+    run_view_representation_ablation,
+)
+from repro.experiments.base import EstimationExperimentSpec, run_estimation_scenario
+from repro.errors import ExperimentError
+
+
+class TestQuickRun:
+    def test_quick_run_summary(self):
+        result = quick_croupier_run(n_public=10, n_private=40, rounds=40, seed=3)
+        assert result.live_nodes == 50
+        assert result.true_ratio == pytest.approx(0.2)
+        assert result.final_avg_error is not None and result.final_avg_error < 0.1
+        assert result.biggest_cluster_fraction == pytest.approx(1.0)
+        assert result.sample_counts["public"] + result.sample_counts["private"] == 200
+        assert "estimation error" in result.to_text()
+
+
+class TestEstimationSpec:
+    def test_spec_validation(self):
+        with pytest.raises(ExperimentError):
+            run_estimation_scenario(
+                EstimationExperimentSpec(label="bad", n_public=0, n_private=10)
+            )
+
+    def test_series_collected_every_round(self):
+        run = run_estimation_scenario(
+            EstimationExperimentSpec(
+                label="tiny", n_public=5, n_private=20, rounds=20, latency="constant"
+            )
+        )
+        assert len(run.series) == 20
+        assert run.live_nodes == 25
+        assert run.final_true_ratio == pytest.approx(0.2)
+
+
+class TestHistoryWindows:
+    def test_static_ratio_accuracy_improves_with_larger_windows(self):
+        result = run_history_window_experiment(
+            dynamic=False,
+            n_public=12,
+            n_private=48,
+            rounds=80,
+            window_pairs=((5, 10), (25, 50)),
+            public_interarrival_ms=50.0,
+            private_interarrival_ms=12.5,
+            latency="constant",
+            seed=11,
+        )
+        small = result.run_for(5, 10).series
+        large = result.run_for(25, 50).series
+        assert small.final_avg_error() is not None
+        assert large.final_avg_error() is not None
+        # Larger windows give a steadier (not worse) converged estimate.
+        assert large.final_avg_error() <= small.final_avg_error() * 1.5
+        assert "Figure 1" in result.to_text()
+
+    def test_dynamic_ratio_growth_happens(self):
+        result = run_history_window_experiment(
+            dynamic=True,
+            n_public=10,
+            n_private=40,
+            rounds=60,
+            window_pairs=((5, 10),),
+            public_interarrival_ms=20.0,
+            private_interarrival_ms=5.0,
+            ratio_growth_start_round=20,
+            ratio_growth_interval_ms=200.0,
+            latency="constant",
+            seed=11,
+        )
+        run = result.runs[0]
+        # The true ratio rose above the initial 0.2 because public nodes were added.
+        assert run.final_true_ratio > 0.2
+        # The estimator followed it: error stays bounded.
+        assert run.series.final_avg_error() < 0.15
+
+
+class TestSystemSizeAndRatioSweep:
+    def test_system_size_errors_reported_per_size(self):
+        result = run_system_size_experiment(
+            sizes=(30, 90), rounds=60, join_window_ms=3_000.0, latency="constant", seed=9
+        )
+        errors = result.final_avg_errors()
+        assert set(errors) == {30, 90}
+        assert all(e is not None and e < 0.2 for e in errors.values())
+        # Larger systems estimate at least as accurately as tiny ones (paper Figure 3).
+        assert errors[90] <= errors[30] * 1.5 + 0.01
+
+    def test_ratio_sweep_reports_all_ratios(self):
+        result = run_ratio_sweep_experiment(
+            ratios=(0.1, 0.5), total_nodes=60, rounds=60, join_window_ms=2_000.0,
+            latency="constant", seed=9,
+        )
+        errors = result.final_avg_errors()
+        assert set(errors) == {0.1, 0.5}
+        assert all(e < 0.15 for e in errors.values())
+
+
+class TestChurn:
+    def test_churn_does_not_break_estimation(self):
+        result = run_churn_experiment(
+            churn_levels=(0.0, 0.05),
+            total_nodes=60,
+            rounds=70,
+            churn_start_round=20,
+            join_window_ms=2_000.0,
+            latency="constant",
+            seed=13,
+        )
+        calm = result.runs[0.0].series.final_avg_error()
+        churned = result.runs[0.05].series.final_avg_error()
+        assert calm is not None and churned is not None
+        # 5%/round churn should not blow up the estimation error (paper Figure 5).
+        assert churned < 0.12
+
+
+class TestRandomnessOverheadFailure:
+    def test_randomness_metrics_shapes(self):
+        result = run_randomness_experiment(
+            protocols=("croupier", "cyclon"),
+            total_nodes=60,
+            rounds=40,
+            measure_every_rounds=20,
+            latency="constant",
+            seed=17,
+        )
+        croupier = result.per_protocol["croupier"]
+        cyclon = result.per_protocol["cyclon"]
+        assert croupier.in_degree_histogram and cyclon.in_degree_histogram
+        assert croupier.path_length.last() is not None
+        assert croupier.path_length.last() < 4.0
+        assert 0.0 <= croupier.clustering.last() <= 1.0
+        assert "Figure 6" in result.to_text()
+
+    def test_overhead_orderings_match_paper(self):
+        result = run_overhead_experiment(
+            total_nodes=100,
+            warmup_rounds=15,
+            measure_rounds=20,
+            latency="constant",
+            seed=19,
+        )
+        private = result.private_loads()
+        public = result.public_loads()
+        # The paper's headline: Croupier's private-node overhead is well below Gozar's
+        # and Nylon's, and its public-node overhead is also the lowest of the three.
+        assert private["croupier"] < 0.5 * private["gozar"]
+        assert private["croupier"] < 0.25 * private["nylon"]
+        assert public["croupier"] < public["gozar"]
+        relative = result.relative_loads()
+        assert set(relative) == {"croupier", "gozar", "nylon"}
+        assert result.cyclon_baseline_bps() > 0
+
+    def test_failure_experiment_croupier_at_least_as_resilient(self):
+        result = run_failure_experiment(
+            protocols=("croupier", "gozar"),
+            failure_fractions=(0.8,),
+            total_nodes=150,
+            warmup_rounds=30,
+            latency="constant",
+            seed=23,
+        )
+        croupier = result.cluster_at("croupier", 0.8)
+        gozar = result.cluster_at("gozar", 0.8)
+        assert 0.0 < croupier <= 1.0
+        assert croupier >= gozar - 0.05
+        assert "Figure 7(b)" in result.to_text()
+
+
+class TestAblations:
+    def test_view_representation_croupier_unbiased(self):
+        result = run_view_representation_ablation(
+            protocols=("croupier", "cyclon"),
+            total_nodes=60,
+            rounds=40,
+            samples_per_node=10,
+            seed=29,
+        )
+        # Croupier keeps private nodes represented close to their true share; a
+        # NAT-oblivious Cyclon under-represents them.
+        assert abs(result.representation_bias("croupier")) < 0.15
+        assert result.private_fraction_in_samples["croupier"] > result.private_fraction_in_samples["cyclon"]
+        assert "Ablation A1" in result.to_text()
+
+    def test_piggyback_bound_tradeoff(self):
+        result = run_piggyback_bound_ablation(
+            bounds=(0, 10), total_nodes=50, rounds=50, seed=31
+        )
+        # More piggy-backed estimates -> bigger messages.
+        assert result.message_bytes_by_bound[10] > result.message_bytes_by_bound[0]
+        # And (weakly) better estimation than sharing nothing at all.
+        assert result.avg_error_by_bound[10] <= result.avg_error_by_bound[0] + 0.02
+
+    def test_selection_policy_ablation_runs(self):
+        result = run_selection_policy_ablation(total_nodes=40, rounds=40, seed=37)
+        assert set(result.avg_error_by_policy) == {"tail", "random"}
+        assert all(v is not None for v in result.avg_error_by_policy.values())

@@ -1,0 +1,109 @@
+"""Unit tests for the latency and loss models."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.address import Endpoint, NatType, NodeAddress
+from repro.simulator.latency import ConstantLatency, KingLatencyModel, UniformLatency
+from repro.simulator.loss import BernoulliLoss, BiasedLoss, NoLoss
+
+
+class TestConstantLatency:
+    def test_constant(self):
+        model = ConstantLatency(33.0)
+        assert model.latency(1, 2) == 33.0
+        assert model.latency(99, 1) == 33.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatency(-1.0)
+
+
+class TestUniformLatency:
+    def test_within_bounds_and_deterministic(self):
+        model = UniformLatency(10.0, 20.0, seed=3)
+        values = [model.latency(a, b) for a in range(5) for b in range(5)]
+        assert all(10.0 <= v <= 20.0 for v in values)
+        again = UniformLatency(10.0, 20.0, seed=3)
+        assert [again.latency(a, b) for a in range(5) for b in range(5)] == values
+
+    def test_symmetric(self):
+        model = UniformLatency(10.0, 20.0, seed=3)
+        assert model.latency(3, 9) == model.latency(9, 3)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(50.0, 10.0)
+
+
+class TestKingLatencyModel:
+    def test_deterministic_and_symmetric(self):
+        model = KingLatencyModel(seed=11)
+        assert model.latency(5, 9) == model.latency(9, 5)
+        other = KingLatencyModel(seed=11)
+        assert other.latency(5, 9) == pytest.approx(model.latency(5, 9))
+
+    def test_positive_and_above_base(self):
+        model = KingLatencyModel(seed=2)
+        for a in range(10):
+            for b in range(a + 1, 10):
+                assert model.latency(a, b) >= KingLatencyModel.BASE_DELAY_MS
+
+    def test_distribution_shape(self):
+        """Median of tens of milliseconds and a long right tail, like the King data."""
+        model = KingLatencyModel(seed=5)
+        samples = [model.latency(a, b) for a in range(40) for b in range(a + 1, 40)]
+        median = statistics.median(samples)
+        assert 30.0 <= median <= 200.0
+        assert max(samples) > median * 1.5
+
+    def test_cache_returns_same_object_value(self):
+        model = KingLatencyModel(seed=5)
+        first = model.latency(1, 2)
+        assert model.latency(1, 2) == first
+
+    def test_describe_mentions_model(self):
+        assert "King" in KingLatencyModel(seed=1).describe()
+
+
+def _addr(public: bool) -> NodeAddress:
+    if public:
+        return NodeAddress(1, Endpoint("1.0.0.1", 7000), NatType.PUBLIC)
+    return NodeAddress(
+        2, Endpoint("2.0.0.1", 7000), NatType.PRIVATE, private_endpoint=Endpoint("10.0.0.1", 7000)
+    )
+
+
+class TestLossModels:
+    def test_no_loss_never_drops(self):
+        rng = random.Random(0)
+        model = NoLoss()
+        assert not any(model.should_drop(rng, _addr(True), "1.0.0.2") for _ in range(100))
+
+    def test_bernoulli_zero_and_one(self):
+        rng = random.Random(0)
+        assert not any(BernoulliLoss(0.0).should_drop(rng, None, "1.0.0.2") for _ in range(50))
+        assert all(BernoulliLoss(1.0).should_drop(rng, None, "1.0.0.2") for _ in range(50))
+
+    def test_bernoulli_rate_roughly_respected(self):
+        rng = random.Random(42)
+        model = BernoulliLoss(0.3)
+        drops = sum(model.should_drop(rng, None, "1.0.0.2") for _ in range(5000))
+        assert 0.25 < drops / 5000 < 0.35
+
+    def test_bernoulli_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(1.5)
+
+    def test_biased_loss_discriminates_by_sender_class(self):
+        rng = random.Random(1)
+        model = BiasedLoss(public_probability=0.0, private_probability=1.0)
+        assert not model.should_drop(rng, _addr(True), "1.0.0.2")
+        assert model.should_drop(rng, _addr(False), "1.0.0.2")
+
+    def test_biased_loss_validation(self):
+        with pytest.raises(ConfigurationError):
+            BiasedLoss(public_probability=-0.1, private_probability=0.5)

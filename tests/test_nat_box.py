@@ -1,0 +1,202 @@
+"""Unit tests for the NAT substrate: bindings, policies, UPnP, firewall, allocator."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NatError
+from repro.nat.allocator import AllocationPolicy, PortAllocator
+from repro.nat.firewall import FirewallBox
+from repro.nat.nat_box import NatBox
+from repro.nat.types import FilteringPolicy, MappingPolicy, NatProfile
+from repro.nat.upnp import UpnpNatBox
+from repro.net.address import Endpoint
+
+INTERNAL = Endpoint("10.0.0.1", 7000)
+REMOTE_A = Endpoint("1.0.0.1", 7000)
+REMOTE_B = Endpoint("1.0.0.2", 7000)
+REMOTE_A_OTHER_PORT = Endpoint("1.0.0.1", 9000)
+
+
+class TestNatProfile:
+    def test_presets(self):
+        assert NatProfile.full_cone().filtering is FilteringPolicy.ENDPOINT_INDEPENDENT
+        assert NatProfile.restricted_cone().filtering is FilteringPolicy.ADDRESS_DEPENDENT
+        assert (
+            NatProfile.port_restricted_cone().filtering
+            is FilteringPolicy.ADDRESS_PORT_DEPENDENT
+        )
+        assert NatProfile.symmetric().mapping is MappingPolicy.ADDRESS_PORT_DEPENDENT
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ConfigurationError):
+            NatProfile(mapping_timeout_ms=0)
+
+
+class TestOutboundTranslation:
+    def test_port_preserved_when_free(self):
+        nat = NatBox("2.0.0.1")
+        wire = nat.translate_outbound(INTERNAL, REMOTE_A, now=0.0)
+        assert wire == Endpoint("2.0.0.1", 7000)
+
+    def test_endpoint_independent_mapping_reused_across_destinations(self):
+        nat = NatBox("2.0.0.1", profile=NatProfile.full_cone())
+        first = nat.translate_outbound(INTERNAL, REMOTE_A, now=0.0)
+        second = nat.translate_outbound(INTERNAL, REMOTE_B, now=1.0)
+        assert first == second
+        assert nat.active_bindings == 1
+
+    def test_symmetric_mapping_differs_per_destination(self):
+        nat = NatBox("2.0.0.1", profile=NatProfile.symmetric())
+        first = nat.translate_outbound(INTERNAL, REMOTE_A, now=0.0)
+        second = nat.translate_outbound(INTERNAL, REMOTE_B, now=0.0)
+        assert first.port != second.port
+        assert nat.active_bindings == 2
+
+    def test_mapping_tracks_contacted_destinations(self):
+        nat = NatBox("2.0.0.1")
+        nat.translate_outbound(INTERNAL, REMOTE_A, now=0.0)
+        assert nat.has_mapping_to(INTERNAL, REMOTE_A)
+        assert not nat.has_mapping_to(INTERNAL, REMOTE_B)
+
+
+class TestInboundFiltering:
+    def test_no_binding_blocks_everything(self):
+        nat = NatBox("2.0.0.1")
+        assert nat.accept_inbound(REMOTE_A, Endpoint("2.0.0.1", 7000), now=0.0) is None
+
+    def test_endpoint_independent_accepts_anyone(self):
+        nat = NatBox("2.0.0.1", profile=NatProfile.full_cone())
+        nat.translate_outbound(INTERNAL, REMOTE_A, now=0.0)
+        assert nat.accept_inbound(REMOTE_B, Endpoint("2.0.0.1", 7000), now=1.0) == INTERNAL
+
+    def test_address_dependent_requires_contacted_ip(self):
+        nat = NatBox("2.0.0.1", profile=NatProfile.restricted_cone())
+        nat.translate_outbound(INTERNAL, REMOTE_A, now=0.0)
+        assert nat.accept_inbound(REMOTE_A_OTHER_PORT, Endpoint("2.0.0.1", 7000), 1.0) == INTERNAL
+        assert nat.accept_inbound(REMOTE_B, Endpoint("2.0.0.1", 7000), 1.0) is None
+
+    def test_port_dependent_requires_exact_endpoint(self):
+        nat = NatBox("2.0.0.1", profile=NatProfile.port_restricted_cone())
+        nat.translate_outbound(INTERNAL, REMOTE_A, now=0.0)
+        assert nat.accept_inbound(REMOTE_A, Endpoint("2.0.0.1", 7000), 1.0) == INTERNAL
+        assert nat.accept_inbound(REMOTE_A_OTHER_PORT, Endpoint("2.0.0.1", 7000), 1.0) is None
+
+
+class TestMappingExpiry:
+    def test_binding_expires_after_timeout(self):
+        nat = NatBox("2.0.0.1", profile=NatProfile(mapping_timeout_ms=1000.0))
+        nat.translate_outbound(INTERNAL, REMOTE_A, now=0.0)
+        assert nat.accept_inbound(REMOTE_A, Endpoint("2.0.0.1", 7000), now=500.0) == INTERNAL
+        assert nat.accept_inbound(REMOTE_A, Endpoint("2.0.0.1", 7000), now=2000.0) is None
+
+    def test_outbound_traffic_refreshes_binding(self):
+        nat = NatBox("2.0.0.1", profile=NatProfile(mapping_timeout_ms=1000.0))
+        nat.translate_outbound(INTERNAL, REMOTE_A, now=0.0)
+        nat.translate_outbound(INTERNAL, REMOTE_A, now=900.0)
+        assert nat.accept_inbound(REMOTE_A, Endpoint("2.0.0.1", 7000), now=1800.0) == INTERNAL
+
+    def test_expired_port_is_released(self):
+        nat = NatBox("2.0.0.1", profile=NatProfile(mapping_timeout_ms=1000.0))
+        nat.translate_outbound(INTERNAL, REMOTE_A, now=0.0)
+        assert nat.active_bindings == 1
+        nat.translate_outbound(Endpoint("10.0.0.2", 8000), REMOTE_A, now=5000.0)
+        assert nat.active_bindings == 1  # the first one expired and was removed
+
+
+class TestUpnp:
+    def test_permanent_mapping_accepts_unsolicited(self):
+        nat = UpnpNatBox("2.0.0.1", profile=NatProfile.port_restricted_cone())
+        external = nat.add_port_mapping(INTERNAL, external_port=7000)
+        assert external == Endpoint("2.0.0.1", 7000)
+        assert nat.accept_inbound(REMOTE_B, external, now=0.0) == INTERNAL
+
+    def test_permanent_mapping_never_expires(self):
+        nat = UpnpNatBox("2.0.0.1", profile=NatProfile(mapping_timeout_ms=100.0))
+        external = nat.add_port_mapping(INTERNAL)
+        assert nat.accept_inbound(REMOTE_A, external, now=10_000_000.0) == INTERNAL
+
+    def test_conflicting_mapping_rejected(self):
+        nat = UpnpNatBox("2.0.0.1")
+        nat.add_port_mapping(INTERNAL, external_port=7000)
+        with pytest.raises(NatError):
+            nat.add_port_mapping(Endpoint("10.0.0.2", 7000), external_port=7000)
+
+    def test_remove_port_mapping(self):
+        nat = UpnpNatBox("2.0.0.1")
+        external = nat.add_port_mapping(INTERNAL, external_port=7000)
+        nat.remove_port_mapping(external.port)
+        assert nat.accept_inbound(REMOTE_A, external, now=0.0) is None
+
+    def test_supports_flag(self):
+        assert UpnpNatBox("2.0.0.1").supports_upnp_igd
+
+
+class TestFirewall:
+    def test_no_translation_on_outbound(self):
+        firewall = FirewallBox("9.0.0.1")
+        wire = firewall.translate_outbound(Endpoint("9.0.0.1", 7000), REMOTE_A, now=0.0)
+        assert wire == Endpoint("9.0.0.1", 7000)
+
+    def test_unsolicited_inbound_blocked(self):
+        firewall = FirewallBox("9.0.0.1")
+        assert firewall.accept_inbound(REMOTE_A, Endpoint("9.0.0.1", 7000), now=0.0) is None
+
+    def test_reply_on_open_flow_allowed(self):
+        firewall = FirewallBox("9.0.0.1")
+        firewall.translate_outbound(Endpoint("9.0.0.1", 7000), REMOTE_A, now=0.0)
+        accepted = firewall.accept_inbound(REMOTE_A, Endpoint("9.0.0.1", 7000), now=1.0)
+        assert accepted == Endpoint("9.0.0.1", 7000)
+
+
+class TestPortAllocator:
+    def test_preservation_uses_preferred_port(self):
+        allocator = PortAllocator(AllocationPolicy.PORT_PRESERVATION)
+        assert allocator.allocate(preferred_port=7000) == 7000
+
+    def test_preservation_falls_back_on_collision(self):
+        allocator = PortAllocator(AllocationPolicy.PORT_PRESERVATION)
+        first = allocator.allocate(preferred_port=7000)
+        second = allocator.allocate(preferred_port=7000)
+        assert first == 7000
+        assert second != 7000
+
+    def test_sequential_allocates_unique_ports(self):
+        allocator = PortAllocator(AllocationPolicy.SEQUENTIAL)
+        ports = {allocator.allocate() for _ in range(100)}
+        assert len(ports) == 100
+
+    def test_random_allocates_unique_ports(self):
+        allocator = PortAllocator(AllocationPolicy.RANDOM)
+        ports = {allocator.allocate() for _ in range(100)}
+        assert len(ports) == 100
+
+    def test_release_returns_port_to_pool(self):
+        allocator = PortAllocator(AllocationPolicy.PORT_PRESERVATION)
+        allocator.allocate(preferred_port=7000)
+        allocator.release(7000)
+        assert allocator.allocate(preferred_port=7000) == 7000
+
+    def test_in_use_counter(self):
+        allocator = PortAllocator()
+        allocator.allocate(preferred_port=1)
+        allocator.allocate(preferred_port=2)
+        assert allocator.in_use == 2
+
+
+class TestNatBoxHosts:
+    def test_attach_and_detach_host(self, sim, network, hosts):
+        host = hosts.private_host()
+        nat = host.natbox
+        assert nat.attached_hosts == 1
+        assert nat.host_for(host.local_endpoint) is host
+        nat.detach_host(host)
+        assert nat.attached_hosts == 0
+
+    def test_attach_conflicting_internal_ip_rejected(self, sim, network, hosts):
+        host = hosts.private_host()
+        nat = host.natbox
+
+        class FakeHost:
+            local_endpoint = host.local_endpoint
+
+        with pytest.raises(NatError):
+            nat.attach_host(FakeHost())

@@ -1,0 +1,154 @@
+"""Tests for the distributed NAT-type identification protocol (Algorithm 1)."""
+
+import pytest
+
+from repro.nat.firewall import FirewallBox
+from repro.nat.types import NatProfile
+from repro.nat.upnp import UpnpNatBox
+from repro.natid.protocol import (
+    NatIdentificationClient,
+    NatIdentificationServer,
+)
+from repro.net.address import Endpoint, NatType, NodeAddress
+from repro.simulator.host import Host
+
+
+def _install_servers(hosts, count=4):
+    """Create ``count`` public hosts each running the NAT-id server."""
+    servers = []
+    addresses = []
+    for _ in range(count):
+        host = hosts.public_host()
+        addresses.append(host.address)
+        server = NatIdentificationServer(host, public_node_provider=lambda: addresses)
+        server.start()
+        servers.append(server)
+    return servers, addresses
+
+
+class TestClassification:
+    def test_public_node_identified_as_public(self, sim, hosts):
+        servers, addresses = _install_servers(hosts)
+        client_host = hosts.public_host()
+        client = NatIdentificationClient(client_host)
+        client.identify(addresses[:2])
+        sim.run()
+        assert client.result is not None
+        assert client.result.nat_type is NatType.PUBLIC
+        assert client.result.reason == "matching_ip"
+
+    def test_restricted_cone_private_via_timeout(self, sim, hosts):
+        """Address-dependent filtering blocks the ForwardResp → timeout → private."""
+        servers, addresses = _install_servers(hosts)
+        client_host = hosts.private_host(profile=NatProfile.restricted_cone())
+        client = NatIdentificationClient(client_host)
+        client.identify(addresses[:2])
+        sim.run()
+        assert client.result.nat_type is NatType.PRIVATE
+        assert client.result.reason == "timeout"
+
+    def test_full_cone_private_via_ip_mismatch(self, sim, hosts):
+        """An EI-filtering NAT lets the ForwardResp through, but the IPs differ."""
+        servers, addresses = _install_servers(hosts)
+        client_host = hosts.private_host(profile=NatProfile.full_cone())
+        client = NatIdentificationClient(client_host)
+        client.identify(addresses[:2])
+        sim.run()
+        assert client.result.nat_type is NatType.PRIVATE
+        assert client.result.reason == "ip_mismatch"
+        assert client.result.observed_ip == client_host.natbox.external_ip
+
+    def test_firewalled_node_is_private(self, sim, hosts, network):
+        servers, addresses = _install_servers(hosts)
+        firewall = FirewallBox("9.0.0.1")
+        address = NodeAddress(
+            node_id=7777,
+            endpoint=Endpoint("9.0.0.1", 7000),
+            nat_type=NatType.PRIVATE,
+            private_endpoint=Endpoint("9.0.0.1", 7000),
+        )
+        host = Host(sim, network, address, natbox=firewall)
+        client = NatIdentificationClient(host)
+        client.identify(addresses[:2])
+        sim.run()
+        assert client.result.nat_type is NatType.PRIVATE
+        assert client.result.reason == "timeout"
+
+    def test_upnp_node_is_public_without_messages(self, sim, hosts, monitor):
+        servers, addresses = _install_servers(hosts)
+        client_host = hosts.private_host()
+        client = NatIdentificationClient(client_host, supports_upnp_igd=True)
+        client.identify(addresses[:2])
+        assert client.result.nat_type is NatType.PUBLIC
+        assert client.result.reason == "upnp_igd"
+        # The UPnP path finishes instantly, before any packet is sent.
+        assert monitor.node_traffic(client_host.node_id).tx_messages == 0
+
+    def test_no_public_nodes_conservatively_private(self, sim, hosts):
+        client_host = hosts.public_host()
+        client = NatIdentificationClient(client_host)
+        client.identify([])
+        assert client.result.nat_type is NatType.PRIVATE
+        assert client.result.reason == "no_public_nodes"
+
+
+class TestProtocolMechanics:
+    def test_three_messages_per_single_instance(self, sim, hosts, monitor):
+        """One MatchingIpTest, one ForwardTest, one ForwardResp (Algorithm 1)."""
+        servers, addresses = _install_servers(hosts, count=3)
+        client_host = hosts.public_host()
+        client = NatIdentificationClient(client_host)
+        client.identify(addresses[:1])  # single parallel instance
+        sim.run()
+        total_messages = sum(
+            monitor.node_traffic(a.node_id).tx_messages for a in addresses
+        ) + monitor.node_traffic(client_host.node_id).tx_messages
+        assert total_messages == 3
+
+    def test_second_public_node_not_in_bootstrap_set(self, sim, hosts):
+        """The ForwardTest must go to a node outside the client's bootstrap list."""
+        servers, addresses = _install_servers(hosts, count=4)
+        client_host = hosts.public_host()
+        client = NatIdentificationClient(client_host)
+        bootstrap = addresses[:2]
+        client.identify(bootstrap)
+        sim.run()
+        bootstrap_ids = {a.node_id for a in bootstrap}
+        forwarders = [s for s in servers if s.forward_resps_sent > 0]
+        assert forwarders, "someone must have sent the ForwardResp"
+        assert all(s.address.node_id not in bootstrap_ids for s in forwarders)
+
+    def test_callback_invoked_once(self, sim, hosts):
+        servers, addresses = _install_servers(hosts)
+        client_host = hosts.public_host()
+        client = NatIdentificationClient(client_host)
+        results = []
+        client.identify(addresses[:3], callback=results.append)
+        sim.run()
+        assert len(results) == 1
+        assert results[0].is_public
+
+    def test_result_elapsed_time_positive(self, sim, hosts):
+        servers, addresses = _install_servers(hosts)
+        client_host = hosts.public_host()
+        client = NatIdentificationClient(client_host)
+        client.identify(addresses[:2])
+        sim.run()
+        assert client.result.elapsed_ms > 0
+
+    def test_invalid_timeout_rejected(self, sim, hosts):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            NatIdentificationClient(hosts.public_host(), timeout_ms=0)
+
+    def test_timeout_length_respected(self, sim, hosts):
+        """Without servers the private verdict arrives exactly at the timeout."""
+        client_host = hosts.private_host()
+        client = NatIdentificationClient(client_host, timeout_ms=2_500.0)
+        # Hand the client a bootstrap address that does not answer (no server bound).
+        silent = hosts.public_host()
+        client.identify([silent.address])
+        sim.run()
+        assert client.result.reason == "timeout"
+        assert client.result.elapsed_ms == pytest.approx(2_500.0)

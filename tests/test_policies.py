@@ -1,0 +1,96 @@
+"""Unit tests for the node-selection and view-merge policies."""
+
+import random
+
+from repro.membership.policies import (
+    MergePolicy,
+    SelectionPolicy,
+    merge_views,
+    select_partner,
+)
+from repro.membership.view import PartialView
+from tests.test_descriptor_view import make_descriptor
+
+
+class TestSelectPartner:
+    def test_tail_selects_oldest(self):
+        view = PartialView(5)
+        view.add(make_descriptor(1, age=2))
+        view.add(make_descriptor(2, age=7))
+        chosen = select_partner(view, SelectionPolicy.TAIL, random.Random(0))
+        assert chosen.node_id == 2
+
+    def test_random_selects_any_member(self):
+        view = PartialView(5)
+        for node_id in range(5):
+            view.add(make_descriptor(node_id))
+        rng = random.Random(3)
+        seen = {select_partner(view, SelectionPolicy.RANDOM, rng).node_id for _ in range(100)}
+        assert seen == set(range(5))
+
+    def test_empty_view_returns_none(self):
+        assert select_partner(PartialView(3), SelectionPolicy.TAIL, random.Random(0)) is None
+
+
+class TestMergePolicies:
+    def test_swapper_delegates_to_update_view(self):
+        view = PartialView(2)
+        view.add(make_descriptor(1))
+        view.add(make_descriptor(2))
+        merge_views(
+            view,
+            sent=[view.get(1)],
+            received=[make_descriptor(5)],
+            self_id=99,
+            policy=MergePolicy.SWAPPER,
+        )
+        assert 5 in view and 1 not in view
+
+    def test_healer_keeps_freshest_overall(self):
+        view = PartialView(2)
+        view.add(make_descriptor(1, age=9))
+        view.add(make_descriptor(2, age=8))
+        merge_views(
+            view,
+            sent=[],
+            received=[make_descriptor(3, age=0), make_descriptor(4, age=1)],
+            self_id=99,
+            policy=MergePolicy.HEALER,
+        )
+        assert set(view.node_ids()) == {3, 4}
+
+    def test_healer_respects_capacity(self):
+        view = PartialView(3)
+        for node_id in range(3):
+            view.add(make_descriptor(node_id, age=5))
+        merge_views(
+            view,
+            sent=[],
+            received=[make_descriptor(10 + i, age=i) for i in range(5)],
+            self_id=99,
+            policy=MergePolicy.HEALER,
+        )
+        assert len(view) == 3
+
+    def test_healer_skips_self(self):
+        view = PartialView(3)
+        merge_views(
+            view,
+            sent=[],
+            received=[make_descriptor(99, age=0)],
+            self_id=99,
+            policy=MergePolicy.HEALER,
+        )
+        assert len(view) == 0
+
+    def test_healer_refreshes_existing(self):
+        view = PartialView(3)
+        view.add(make_descriptor(1, age=9))
+        merge_views(
+            view,
+            sent=[],
+            received=[make_descriptor(1, age=0)],
+            self_id=99,
+            policy=MergePolicy.HEALER,
+        )
+        assert view.get(1).age == 0

@@ -1,0 +1,90 @@
+"""Unit tests for Algorithm 3's generateRandomSample."""
+
+import random
+
+import pytest
+
+from repro.core.sampling import generate_random_sample
+from repro.membership.view import PartialView
+from tests.test_descriptor_view import make_descriptor
+
+
+def make_views(n_public=5, n_private=5):
+    public_view = PartialView(max(1, n_public))
+    private_view = PartialView(max(1, n_private))
+    for node_id in range(1, n_public + 1):
+        public_view.add(make_descriptor(node_id, public=True))
+    for node_id in range(100, 100 + n_private):
+        private_view.add(make_descriptor(node_id, public=False))
+    return public_view, private_view
+
+
+class TestGenerateRandomSample:
+    def test_both_views_empty_returns_none(self):
+        public_view, private_view = PartialView(3), PartialView(3)
+        assert generate_random_sample(public_view, private_view, 0.5, random.Random(0)) is None
+
+    def test_ratio_one_always_samples_public(self):
+        public_view, private_view = make_views()
+        rng = random.Random(1)
+        for _ in range(50):
+            sample = generate_random_sample(public_view, private_view, 1.0, rng)
+            assert sample.is_public
+
+    def test_ratio_zero_always_samples_private(self):
+        public_view, private_view = make_views()
+        rng = random.Random(1)
+        for _ in range(50):
+            sample = generate_random_sample(public_view, private_view, 0.0, rng)
+            assert sample.is_private
+
+    def test_sample_frequency_matches_ratio(self):
+        public_view, private_view = make_views()
+        rng = random.Random(7)
+        draws = 4000
+        public_draws = sum(
+            generate_random_sample(public_view, private_view, 0.2, rng).is_public
+            for _ in range(draws)
+        )
+        assert 0.17 < public_draws / draws < 0.23
+
+    def test_none_ratio_falls_back_to_union(self):
+        public_view, private_view = make_views(n_public=1, n_private=1)
+        rng = random.Random(3)
+        kinds = {
+            generate_random_sample(public_view, private_view, None, rng).is_public
+            for _ in range(100)
+        }
+        assert kinds == {True, False}
+
+    def test_falls_back_to_other_view_when_chosen_view_empty(self):
+        public_view, private_view = make_views(n_public=3, n_private=0)
+        rng = random.Random(5)
+        # ratio 0 would pick the (empty) private view; the sampler must fall back.
+        sample = generate_random_sample(public_view, private_view, 0.0, rng)
+        assert sample is not None and sample.is_public
+
+    def test_out_of_range_ratio_is_clamped(self):
+        public_view, private_view = make_views()
+        rng = random.Random(5)
+        assert generate_random_sample(public_view, private_view, 7.5, rng).is_public
+        assert generate_random_sample(public_view, private_view, -3.0, rng).is_private
+
+    def test_samples_come_from_views(self):
+        public_view, private_view = make_views()
+        member_ids = set(public_view.node_ids()) | set(private_view.node_ids())
+        rng = random.Random(11)
+        for _ in range(100):
+            sample = generate_random_sample(public_view, private_view, 0.5, rng)
+            assert sample.node_id in member_ids
+
+    def test_uniformity_within_public_view(self):
+        public_view, private_view = make_views(n_public=5, n_private=0)
+        rng = random.Random(13)
+        counts = {}
+        for _ in range(5000):
+            sample = generate_random_sample(public_view, private_view, 1.0, rng)
+            counts[sample.node_id] = counts.get(sample.node_id, 0) + 1
+        values = list(counts.values())
+        assert len(values) == 5
+        assert max(values) < 1.3 * min(values)

@@ -1,0 +1,126 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.core import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fifo(self, sim):
+        order = []
+        for label in "abcd":
+            sim.schedule(5, lambda label=label: order.append(label))
+        sim.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        sim.schedule(42.5, lambda: None)
+        sim.run()
+        assert sim.now == pytest.approx(42.5)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_cancel_prevents_execution(self, sim):
+        fired = []
+        handle = sim.schedule(10, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_events_scheduled_from_callbacks(self, sim):
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(5, lambda: order.append("nested"))
+
+        sim.schedule(10, first)
+        sim.schedule(20, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "nested", "second"]
+        assert sim.now == pytest.approx(20)
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(10, lambda: fired.append("early"))
+        sim.schedule(100, lambda: fired.append("late"))
+        sim.run(until=50)
+        assert fired == ["early"]
+        assert sim.now == pytest.approx(50)
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_executes_events_at_horizon(self, sim):
+        fired = []
+        sim.schedule(50, lambda: fired.append(1))
+        sim.run(until=50)
+        assert fired == [1]
+
+    def test_run_for_is_relative(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run_for(30)
+        assert sim.now == pytest.approx(30)
+        sim.run_for(30)
+        assert sim.now == pytest.approx(60)
+
+    def test_max_events_limits_execution(self, sim):
+        fired = []
+        for index in range(10):
+            sim.schedule(index + 1, lambda index=index: fired.append(index))
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert fired == [0, 1, 2]
+
+    def test_step_on_empty_queue(self, sim):
+        assert sim.step() is False
+
+    def test_pending_and_executed_counters(self, sim):
+        sim.schedule(1, lambda: None)
+        handle = sim.schedule(2, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.events_executed == 1
+
+
+class TestRngDerivation:
+    def test_same_labels_same_stream(self):
+        a = Simulator(seed=7).derive_rng("croupier", 12)
+        b = Simulator(seed=7).derive_rng("croupier", 12)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_labels_different_streams(self):
+        sim = Simulator(seed=7)
+        a = sim.derive_rng("croupier", 12)
+        b = sim.derive_rng("croupier", 13)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seed_different_streams(self):
+        a = Simulator(seed=7).derive_rng("x")
+        b = Simulator(seed=8).derive_rng("x")
+        assert a.random() != b.random()
