@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Standalone hot-path benchmark runner: emits the perf-trajectory point.
+
+Writes ``BENCH_hotpaths.json`` (at the repository root by default) with wall-clock
+measurements of the simulation hot paths plus the PR-1 acceptance scenario (1000
+Croupier nodes × 100 gossip rounds), compared against the seed-implementation baseline
+measured on this container. Every future perf PR re-runs this script and appends its
+numbers to the trajectory, so regressions are visible across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run (~1 min)
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # <= 60 s smoke subset
+    PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/bench.json
+
+The scenario measurements assert output fidelity (event counts and the mean ratio
+estimate must match the seed implementation bit for bit) before timings are recorded —
+a fast-but-wrong run never produces a trajectory point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.estimator import RatioEstimate, RatioEstimator  # noqa: E402
+from repro.membership.descriptor import NodeDescriptor  # noqa: E402
+from repro.membership.view import PartialView  # noqa: E402
+from repro.net.address import Endpoint, NatType, NodeAddress  # noqa: E402
+from repro.simulator.core import Simulator  # noqa: E402
+from repro.workload.scenario import Scenario, ScenarioConfig  # noqa: E402
+
+#: Seed-implementation (commit 8b078d8) wall-clock baselines measured on this container.
+SEED_BASELINES = {
+    "croupier_1000x100": {
+        "seconds": 83.48,
+        "events_executed": 292357,
+        "mean_estimate": 0.20146065899706894,
+    },
+}
+
+
+def _timeit(func, repeats: int = 3) -> float:
+    """Best-of-N wall-clock seconds for one call of ``func``."""
+    best = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        func()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _make_descriptor(node_id: int, age: int = 0) -> NodeDescriptor:
+    address = NodeAddress(
+        node_id=node_id,
+        endpoint=Endpoint(f"1.0.{node_id // 250}.{node_id % 250 + 1}", 7000),
+        nat_type=NatType.PUBLIC,
+    )
+    return NodeDescriptor(address=address, age=age)
+
+
+def bench_micro() -> dict:
+    """Per-primitive timings (seconds) for the optimised hot paths."""
+    results = {}
+
+    view = PartialView(1000)
+    for node_id in range(1, 1001):
+        view.add(_make_descriptor(node_id, age=node_id % 7))
+
+    def ages():
+        for _ in range(100_000):
+            view.increase_ages()
+
+    results["increase_ages_100k_on_1000_entries"] = _timeit(ages)
+
+    rng = random.Random(3)
+    small_view = PartialView(10)
+    for node_id in range(1, 11):
+        small_view.add(_make_descriptor(node_id, age=node_id))
+
+    def subsets():
+        for _ in range(10_000):
+            small_view.random_subset(rng, 5, exclude_ids=(1,))
+
+    results["random_subset_10k"] = _timeit(subsets)
+
+    received = [_make_descriptor(100 + i) for i in range(5)]
+
+    def merges():
+        for _ in range(10_000):
+            sent = small_view.random_subset(rng, 5)
+            small_view.update_view(sent=sent, received=received, self_id=999)
+
+    results["update_view_10k"] = _timeit(merges)
+
+    def events():
+        sim = Simulator(seed=1)
+        sink = []
+        for index in range(50_000):
+            handle = sim.schedule(float(index % 100), sink.append, index)
+            if index % 3 == 0:
+                handle.cancel()
+        sim.run()
+        assert sim.pending_events == 0
+
+    results["event_loop_50k_with_cancels"] = _timeit(events)
+
+    estimator = RatioEstimator(alpha=25, gamma=50, is_public=True)
+    estimator.merge_estimates([RatioEstimate(i, 0.2, age=i % 5) for i in range(200)])
+    est_rng = random.Random(1)
+
+    def estimator_rounds():
+        for _ in range(10_000):
+            estimator.record_shuffle_request(True)
+            estimator.estimates_subset(est_rng, 10)
+            estimator.advance_round()
+
+    results["estimator_10k_rounds_warm_cache"] = _timeit(estimator_rounds)
+    return results
+
+
+def bench_scenario(n_public: int, n_private: int, rounds: int, seed: int = 3) -> dict:
+    """Time one full Croupier scenario and capture its (deterministic) outputs."""
+    started = time.perf_counter()
+    scenario = Scenario(ScenarioConfig(protocol="croupier", seed=seed))
+    scenario.populate(n_public=n_public, n_private=n_private)
+    scenario.run_rounds(rounds)
+    elapsed = time.perf_counter() - started
+    estimates = [e for e in scenario.ratio_estimates() if e is not None]
+    return {
+        "n_nodes": n_public + n_private,
+        "rounds": rounds,
+        "seconds": round(elapsed, 3),
+        "events_executed": scenario.sim.events_executed,
+        "packets_sent": scenario.network.packets_sent,
+        "mean_estimate": sum(estimates) / len(estimates),
+        "true_ratio": scenario.true_ratio(),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run a <=60s subset (micro benches + a 300-node scenario)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_hotpaths.json",
+        help="where to write the JSON trajectory point",
+    )
+    args = parser.parse_args()
+
+    report = {
+        "bench": "hotpaths",
+        "mode": "quick" if args.quick else "full",
+        "python": sys.version.split()[0],
+        "micro_seconds": bench_micro(),
+        "seed_baselines": SEED_BASELINES,
+    }
+
+    if args.quick:
+        report["scenarios"] = {
+            "croupier_300x30": bench_scenario(n_public=60, n_private=240, rounds=30)
+        }
+    else:
+        scenario = bench_scenario(n_public=200, n_private=800, rounds=100)
+        baseline = SEED_BASELINES["croupier_1000x100"]
+        if scenario["events_executed"] != baseline["events_executed"]:
+            raise SystemExit(
+                "FIDELITY FAILURE: event count "
+                f"{scenario['events_executed']} != seed {baseline['events_executed']}"
+            )
+        if scenario["mean_estimate"] != baseline["mean_estimate"]:
+            raise SystemExit(
+                "FIDELITY FAILURE: mean estimate "
+                f"{scenario['mean_estimate']!r} != seed {baseline['mean_estimate']!r}"
+            )
+        scenario["speedup_vs_seed"] = round(baseline["seconds"] / scenario["seconds"], 2)
+        report["scenarios"] = {"croupier_1000x100": scenario}
+
+    args.output.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(json.dumps(report, indent=1, sort_keys=True))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Perf-trajectory smoke run: tier-1 tests plus a <=60s subset of the hot-path
+# micro-benchmarks, writing BENCH_hotpaths.json at the repository root.
+#
+# Every PR should leave a fresh trajectory point behind:
+#
+#   ./scripts/bench_smoke.sh            # quick scenario (300 nodes x 30 rounds)
+#   BENCH_FULL=1 ./scripts/bench_smoke.sh   # full acceptance scenario (1000 x 100)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest tests/ -x -q
+
+echo
+echo "== hot-path benchmarks =="
+if [ "${BENCH_FULL:-0}" = "1" ]; then
+    python benchmarks/run_bench.py
+else
+    python benchmarks/run_bench.py --quick
+fi

@@ -100,10 +100,14 @@ class Croupier(PeerSamplingService):
         else:
             send_private.append(self.self_descriptor())
 
+        # Descriptors are immutable: the message and the pending record share the
+        # same tuples (no defensive copies anywhere on this path).
+        sent_public = tuple(send_public)
+        sent_private = tuple(send_private)
         request = ShuffleRequest(
             sender=self.self_descriptor(),
-            public_descriptors=tuple(send_public),
-            private_descriptors=tuple(send_private),
+            public_descriptors=sent_public,
+            private_descriptors=sent_private,
             estimates=tuple(
                 self.estimator.estimates_subset(
                     self.rng, self.config.max_estimates_per_message
@@ -112,8 +116,8 @@ class Croupier(PeerSamplingService):
             sender_estimate=self.estimator.own_estimate_record(self.address.node_id),
         )
         self._pending[partner.node_id] = _PendingShuffle(
-            sent_public=tuple(send_public),
-            sent_private=tuple(send_private),
+            sent_public=sent_public,
+            sent_private=sent_private,
             issued_round=self.current_round,
         )
         self.stats.shuffles_initiated += 1
@@ -161,12 +165,12 @@ class Croupier(PeerSamplingService):
 
         self.public_view.update_view(
             sent=reply_public,
-            received=list(message.public_descriptors),
+            received=message.public_descriptors,
             self_id=self.address.node_id,
         )
         self.private_view.update_view(
             sent=reply_private,
-            received=list(message.private_descriptors),
+            received=message.private_descriptors,
             self_id=self.address.node_id,
         )
         self.estimator.merge_estimates([*message.estimates, message.sender_estimate])
@@ -198,12 +202,12 @@ class Croupier(PeerSamplingService):
 
         self.public_view.update_view(
             sent=sent_public,
-            received=list(message.public_descriptors),
+            received=message.public_descriptors,
             self_id=self.address.node_id,
         )
         self.private_view.update_view(
             sent=sent_private,
-            received=list(message.private_descriptors),
+            received=message.private_descriptors,
             self_id=self.address.node_id,
         )
         self.estimator.merge_estimates([*message.estimates, message.sender_estimate])

@@ -26,7 +26,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Tuple
 from repro.errors import ConfigurationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RatioEstimate:
     """One public node's local estimate, as disseminated on shuffle messages.
 
@@ -83,8 +83,21 @@ class RatioEstimator:
         # Hit counters for the round currently in progress.
         self._current_public_hits = 0
         self._current_private_hits = 0
-        # Neighbour estimates M_i keyed by origin node id.
-        self._neighbour_estimates: Dict[int, RatioEstimate] = {}
+        # Neighbour estimates M_i keyed by origin node id, stored lazily as
+        # (value, born) where ``born = rounds_at_merge - wire_age``. The effective age
+        # of an entry is ``self.rounds - born``, so ageing the whole cache each round
+        # is free — no per-entry RatioEstimate reallocation. Wire-format
+        # :class:`RatioEstimate` objects are materialised only when estimates leave
+        # through :meth:`estimates_subset` / :meth:`neighbour_estimates`.
+        self._neighbour_estimates: Dict[int, Tuple[float, int]] = {}
+        # Origin ids in cache insertion order (mirrors the dict's own order). Kept so
+        # estimates_subset can sample without building an O(cache) list per message;
+        # rebuilt only when expiry actually removes entries.
+        self._origin_order: List[int] = []
+        # Lower bound on the smallest born round in the cache. Lets advance_round
+        # skip the expiry scan entirely while nothing can have expired yet (the
+        # common steady-state case: active origins keep refreshing their entries).
+        self._min_born_bound: Optional[int] = None
         self.rounds = 0
 
     # ------------------------------------------------------------------ hit counting
@@ -111,13 +124,20 @@ class RatioEstimator:
         into the history and resets them.
         """
         self.rounds += 1
-        # Age neighbour estimates and drop the ones older than γ.
-        aged: Dict[int, RatioEstimate] = {}
-        for origin_id, estimate in self._neighbour_estimates.items():
-            older = estimate.aged()
-            if older.age <= self.gamma:
-                aged[origin_id] = older
-        self._neighbour_estimates = aged
+        # Ageing is implicit (effective age = rounds - born); only expiry needs work,
+        # and only when the oldest entry could actually have crossed the γ horizon.
+        horizon = self.rounds - self.gamma
+        cache = self._neighbour_estimates
+        bound = self._min_born_bound
+        if bound is not None and bound < horizon:
+            expired = [origin_id for origin_id, (_, born) in cache.items() if born < horizon]
+            for origin_id in expired:
+                del cache[origin_id]
+            if expired:
+                self._origin_order = list(cache)
+            self._min_born_bound = (
+                min(born for _, born in cache.values()) if cache else None
+            )
 
         # Archive the completed round's counters (the deque enforces the α window).
         self._history.append((self._current_public_hits, self._current_private_hits))
@@ -165,23 +185,47 @@ class RatioEstimator:
         number of entries that changed the cache.
         """
         merged = 0
+        cache = self._neighbour_estimates
+        rounds = self.rounds
         for estimate in estimates:
             if estimate is None:
                 continue
             if estimate.age > self.gamma:
                 continue
-            existing = self._neighbour_estimates.get(estimate.origin_id)
-            if existing is None or estimate.is_fresher_than(existing):
-                self._neighbour_estimates[estimate.origin_id] = estimate
+            # Fresher ⇔ smaller effective age ⇔ larger born round.
+            born = rounds - estimate.age
+            existing = cache.get(estimate.origin_id)
+            if existing is None or born > existing[1]:
+                if existing is None:
+                    self._origin_order.append(estimate.origin_id)
+                cache[estimate.origin_id] = (estimate.value, born)
                 merged += 1
+                bound = self._min_born_bound
+                if bound is None or born < bound:
+                    self._min_born_bound = born
         return merged
 
     def estimates_subset(self, rng: random.Random, count: int) -> List[RatioEstimate]:
-        """A bounded random subset of the neighbour cache to piggy-back on a message."""
-        values = list(self._neighbour_estimates.values())
-        if len(values) <= count:
-            return list(values)
-        return rng.sample(values, count)
+        """A bounded random subset of the neighbour cache to piggy-back on a message.
+
+        The returned estimates carry the sender-relative age at send time (the wire
+        semantics the paper's 5-byte encoding assumes).
+        """
+        cache = self._neighbour_estimates
+        order = self._origin_order
+        if len(order) > count:
+            # Sampling from the persistent order list draws exactly as sampling from
+            # a freshly built item list would (the draws depend only on the length),
+            # without allocating an O(cache) list per outgoing message.
+            chosen = rng.sample(order, count)
+        else:
+            chosen = order
+        rounds = self.rounds
+        result = []
+        for origin_id in chosen:
+            value, born = cache[origin_id]
+            result.append(RatioEstimate(origin_id, value, rounds - born))
+        return result
 
     # ------------------------------------------------------------------ estimation
 
@@ -192,7 +236,7 @@ class RatioEstimator:
         neighbour estimates; private nodes average only the neighbour estimates.
         Returns ``None`` when the node has no information at all yet.
         """
-        cached = [estimate.value for estimate in self._neighbour_estimates.values()]
+        cached = [value for value, _born in self._neighbour_estimates.values()]
         if self.is_public:
             own = self.local_estimate()
             if own is not None:
@@ -209,7 +253,11 @@ class RatioEstimator:
 
     def neighbour_estimates(self) -> List[RatioEstimate]:
         """Snapshot of the cached neighbour estimates (testing/diagnostics)."""
-        return list(self._neighbour_estimates.values())
+        rounds = self.rounds
+        return [
+            RatioEstimate(origin_id, value, rounds - born)
+            for origin_id, (value, born) in self._neighbour_estimates.items()
+        ]
 
     def history_snapshot(self) -> List[Tuple[int, int]]:
         """Snapshot of the archived (cu, cv) history (testing/diagnostics)."""

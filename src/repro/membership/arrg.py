@@ -146,7 +146,7 @@ class Arrg(PeerSamplingService):
         )
         self.view.update_view(
             sent=reply_subset,
-            received=list(message.descriptors),
+            received=message.descriptors,
             self_id=self.address.node_id,
         )
         self._remember_success(message.sender.address)
@@ -163,8 +163,8 @@ class Arrg(PeerSamplingService):
         self.stats.shuffle_responses_received += 1
         sent = self._pending.pop(message.sender.node_id, ())
         self.view.update_view(
-            sent=list(sent),
-            received=list(message.descriptors),
+            sent=sent,
+            received=message.descriptors,
             self_id=self.address.node_id,
         )
         self._remember_success(message.sender.address)

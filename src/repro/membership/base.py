@@ -92,6 +92,7 @@ class PeerSamplingService(Component):
         super().__init__(host, self.config.port, name=name)
         self.stats = PssStatistics()
         self.current_round = 0
+        self._self_descriptor: Optional[NodeDescriptor] = None
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -141,8 +142,18 @@ class PeerSamplingService(Component):
     # ------------------------------------------------------------------ helpers
 
     def self_descriptor(self) -> NodeDescriptor:
-        """A fresh (age-0) descriptor describing this node."""
-        return NodeDescriptor(address=self.address, age=0)
+        """A fresh (age-0) descriptor describing this node.
+
+        Descriptors are immutable, so the same age-0 instance can be shared by every
+        message that embeds it; it is rebuilt only if the host's address object changes
+        (NAT-type identification replaces the address before the PSS starts).
+        """
+        cached = self._self_descriptor
+        address = self.host.address
+        if cached is None or cached.address is not address:
+            cached = NodeDescriptor(address=address, age=0)
+            self._self_descriptor = cached
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -76,11 +76,13 @@ class Cyclon(PeerSamplingService):
         )
         subset.append(self.self_descriptor())
 
-        self._pending[partner.node_id] = tuple(subset)
+        # Immutable descriptors: the pending record and the message share one tuple.
+        sent = tuple(subset)
+        self._pending[partner.node_id] = sent
         self.stats.shuffles_initiated += 1
         self.send_to_node(
             partner.address,
-            CyclonShuffleRequest(sender=self.self_descriptor(), descriptors=tuple(subset)),
+            CyclonShuffleRequest(sender=self.self_descriptor(), descriptors=sent),
         )
 
     # ------------------------------------------------------------------ handlers
@@ -95,7 +97,7 @@ class Cyclon(PeerSamplingService):
         merge_views(
             self.view,
             sent=reply_subset,
-            received=list(message.descriptors),
+            received=message.descriptors,
             self_id=self.address.node_id,
             policy=self.config.merge,
         )
@@ -113,8 +115,8 @@ class Cyclon(PeerSamplingService):
         sent = self._pending.pop(message.sender.node_id, ())
         merge_views(
             self.view,
-            sent=list(sent),
-            received=list(message.descriptors),
+            sent=sent,
+            received=message.descriptors,
             self_id=self.address.node_id,
             policy=self.config.merge,
         )

@@ -3,17 +3,29 @@
 The paper (Section VI): "A node descriptor contains the node's address, its NAT type,
 and a timestamp storing the number of rounds since the descriptor was created."
 Protocol-specific extras (Gozar's relay parents) ride along in :attr:`NodeDescriptor.parents`.
+
+Performance contract
+--------------------
+Descriptors are **immutable** ``__slots__`` value objects. Immutability is what lets the
+rest of the hot path share references instead of defensively copying: a
+:class:`~repro.membership.view.PartialView` stores the very descriptor object it was
+handed, messages embed the same objects the view returned, and
+:meth:`NodeDescriptor.copy` degenerates to returning ``self``. The :attr:`age` field is
+the age *at the time this particular object was materialised*; views age their contents
+lazily (a single per-view round counter) and materialise a descriptor with the current
+age only when one actually crosses an API boundary — see
+:class:`~repro.membership.view.PartialView` for the lazy-ageing bookkeeping.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Tuple
 
 from repro.net.address import NatType, NodeAddress
 
+_set_slot = object.__setattr__
 
-@dataclass
+
 class NodeDescriptor:
     """A (possibly stale) claim that a node exists and can be contacted.
 
@@ -22,23 +34,56 @@ class NodeDescriptor:
     address:
         The node's :class:`~repro.net.address.NodeAddress` (which carries its NAT type).
     age:
-        Number of gossip rounds since the descriptor was created by the node itself.
-        Freshly self-created descriptors have age 0; every round each node increments
-        the age of all descriptors it stores.
+        Number of gossip rounds since the descriptor was created by the node itself,
+        as of the moment this object was materialised. Freshly self-created descriptors
+        have age 0. Views do **not** rewrite this field each round; they track ageing
+        lazily and hand out re-materialised descriptors on access.
     parents:
         Gozar only: the public relay nodes through which the (private) subject of this
         descriptor can be reached. Empty for every other protocol.
     """
 
-    address: NodeAddress
-    age: int = 0
-    parents: Tuple[NodeAddress, ...] = field(default_factory=tuple)
+    __slots__ = ("address", "age", "parents", "node_id", "_wire_size")
+
+    def __init__(
+        self,
+        address: NodeAddress,
+        age: int = 0,
+        parents: Tuple[NodeAddress, ...] = (),
+    ) -> None:
+        _set_slot(self, "address", address)
+        _set_slot(self, "age", age)
+        _set_slot(self, "parents", parents)
+        # node_id is read on every merge/selection step; a plain slot avoids a
+        # property call through the address on each access.
+        _set_slot(self, "node_id", address.node_id)
+        _set_slot(self, "_wire_size", None)
+
+    # ------------------------------------------------------------------ immutability
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"NodeDescriptor is immutable; cannot set {name!r} "
+            "(use aged()/with_age()/with_parents() to derive a new descriptor)"
+        )
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("NodeDescriptor is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NodeDescriptor):
+            return NotImplemented
+        return (
+            self.address == other.address
+            and self.age == other.age
+            and self.parents == other.parents
+        )
+
+    # Match the previous (non-frozen dataclass) behaviour: descriptors defined
+    # equality but were never hashable — node ids key every table instead.
+    __hash__ = None  # type: ignore[assignment]
 
     # ------------------------------------------------------------------ identity
-
-    @property
-    def node_id(self) -> int:
-        return self.address.node_id
 
     @property
     def nat_type(self) -> NatType:
@@ -55,29 +100,42 @@ class NodeDescriptor:
     # ------------------------------------------------------------------ operations
 
     def copy(self) -> "NodeDescriptor":
-        """An independent copy (descriptors placed in messages must never be aliased)."""
-        return NodeDescriptor(address=self.address, age=self.age, parents=self.parents)
+        """Return ``self``: descriptors are immutable, so sharing is always safe."""
+        return self
 
     def aged(self, increment: int = 1) -> "NodeDescriptor":
-        """A copy with the age increased by ``increment``."""
-        return NodeDescriptor(
-            address=self.address, age=self.age + increment, parents=self.parents
-        )
+        """A descriptor with the age increased by ``increment``."""
+        return NodeDescriptor(self.address, self.age + increment, self.parents)
+
+    def with_age(self, age: int) -> "NodeDescriptor":
+        """A descriptor with the age replaced (used by lazy-ageing views)."""
+        if age == self.age:
+            return self
+        return NodeDescriptor(self.address, age, self.parents)
 
     def is_fresher_than(self, other: "NodeDescriptor") -> bool:
         """Whether this descriptor carries more recent information than ``other``."""
         return self.age < other.age
 
     def with_parents(self, parents: Tuple[NodeAddress, ...]) -> "NodeDescriptor":
-        """A copy with the relay-parent list replaced (Gozar)."""
-        return NodeDescriptor(address=self.address, age=self.age, parents=parents)
+        """A descriptor with the relay-parent list replaced (Gozar)."""
+        return NodeDescriptor(self.address, self.age, parents)
 
     # ------------------------------------------------------------------ accounting
 
     @property
     def wire_size(self) -> int:
-        """Bytes to encode the descriptor: address + age byte + any relay parents."""
-        return self.address.wire_size + 1 + sum(p.wire_size for p in self.parents)
+        """Bytes to encode the descriptor: address + age byte + any relay parents.
+
+        Computed once and cached — the traffic monitor asks for message sizes on every
+        send *and* receive, which made this the hottest property in the whole simulator
+        before caching.
+        """
+        size = self._wire_size
+        if size is None:
+            size = self.address.wire_size + 1 + sum(p.wire_size for p in self.parents)
+            _set_slot(self, "_wire_size", size)
+        return size
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         suffix = f", parents={len(self.parents)}" if self.parents else ""

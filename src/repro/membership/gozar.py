@@ -149,11 +149,12 @@ class Gozar(PeerSamplingService):
             self.rng, max(0, self.config.shuffle_size - 1), exclude_ids=(partner.node_id,)
         )
         subset.append(self._self_descriptor_with_parents())
-        self._pending[partner.node_id] = tuple(subset)
+        sent = tuple(subset)
+        self._pending[partner.node_id] = sent
         self.stats.shuffles_initiated += 1
 
         request = GozarShuffleRequest(
-            sender=self._self_descriptor_with_parents(), descriptors=tuple(subset)
+            sender=self._self_descriptor_with_parents(), descriptors=sent
         )
         self._send_possibly_relayed(partner, request)
 
@@ -259,7 +260,7 @@ class Gozar(PeerSamplingService):
             ]
         self.view.update_view(
             sent=reply_subset,
-            received=list(message.descriptors),
+            received=message.descriptors,
             self_id=self.address.node_id,
         )
         response = GozarShuffleResponse(
@@ -276,8 +277,8 @@ class Gozar(PeerSamplingService):
         self.stats.shuffle_responses_received += 1
         sent = self._pending.pop(message.sender.node_id, ())
         self.view.update_view(
-            sent=list(sent),
-            received=list(message.descriptors),
+            sent=sent,
+            received=message.descriptors,
             self_id=self.address.node_id,
         )
 

@@ -117,12 +117,13 @@ class Nylon(PeerSamplingService):
             self.rng, max(0, self.config.shuffle_size - 1), exclude_ids=(partner.node_id,)
         )
         subset.append(self.self_descriptor())
-        self._pending[partner.node_id] = tuple(subset)
+        sent = tuple(subset)
+        self._pending[partner.node_id] = sent
         self.stats.shuffles_initiated += 1
 
         if partner.is_public or partner.node_id in self._open_contacts:
             # Direct path available (public target, or a mapping we already hold open).
-            self._send_shuffle_request(partner.address, tuple(subset))
+            self._send_shuffle_request(partner.address, sent)
             return
 
         # Private target with no open mapping: route a hole-punch request along the
@@ -130,7 +131,7 @@ class Nylon(PeerSamplingService):
         # send our own punch packet straight at the target: it is dropped by the
         # target's NAT, but it opens *our* NAT mapping towards the target, so the
         # target's reverse ping can get through (classic UDP hole punching).
-        self._awaiting_punch[partner.node_id] = tuple(subset)
+        self._awaiting_punch[partner.node_id] = sent
         if self.address.is_private:
             self.send_to_node(partner.address, HolePunchPing(origin=self.address))
         rvp = self.rvp_table.get(partner.node_id)
@@ -237,7 +238,7 @@ class Nylon(PeerSamplingService):
         )
         self.view.update_view(
             sent=reply_subset,
-            received=list(message.descriptors),
+            received=message.descriptors,
             self_id=self.address.node_id,
         )
         self.send(
@@ -255,8 +256,8 @@ class Nylon(PeerSamplingService):
         self._open_contacts[message.sender.node_id] = message.sender.address
         sent = self._pending.pop(message.sender.node_id, ())
         self.view.update_view(
-            sent=list(sent),
-            received=list(message.descriptors),
+            sent=sent,
+            received=message.descriptors,
             self_id=self.address.node_id,
         )
 

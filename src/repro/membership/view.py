@@ -6,11 +6,33 @@ on: ageing, tail (oldest-descriptor) selection, uniform random subsets, and the
 ``updateView`` merge procedure of Algorithm 2 (lines 46–58), which is the *swapper*
 policy of Jelasity et al.: when the view is full, a descriptor we just sent to the peer
 is evicted to make room for one the peer sent us.
+
+Lazy-ageing contract
+--------------------
+Ageing every descriptor each round used to allocate a fresh
+:class:`~repro.membership.descriptor.NodeDescriptor` per entry per view per node per
+round — the single largest allocation source in a simulation. The view now keeps one
+internal round counter (``_clock``) and, per entry, the counter value at which that
+descriptor's age was zero (its *born* round, ``born = clock_at_insert - age``).
+
+* :meth:`increase_ages` is O(1): it bumps the clock.
+* The *effective* age of an entry is ``_clock - born``; it is materialised into a real
+  descriptor object only when an entry crosses the public API (:meth:`get`, iteration,
+  :meth:`oldest`, :meth:`random_subset`, …). Materialised objects are cached back into
+  the table, so repeated reads at the same clock allocate nothing.
+* Descriptors handed in are stored by reference (they are immutable) and descriptors
+  handed out are shared, never copied. Wire semantics are preserved: a descriptor
+  returned for inclusion in a message carries the sender-relative age at send time.
+
+All selection methods consume randomness exactly as the eager implementation did (same
+candidate ordering, same number of draws), so same-seed runs are bit-identical with the
+pre-refactor code.
 """
 
 from __future__ import annotations
 
 import random
+from collections import deque
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
@@ -20,11 +42,50 @@ from repro.membership.descriptor import NodeDescriptor
 class PartialView:
     """A bounded set of node descriptors, at most one per node identifier."""
 
+    __slots__ = ("capacity", "_entries", "_born", "_clock", "_ids")
+
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"view capacity must be positive, got {capacity}")
         self.capacity = capacity
+        #: node_id -> descriptor as last materialised (its ``age`` may lag the clock).
         self._entries: Dict[int, NodeDescriptor] = {}
+        #: node_id -> clock value at which this entry's age was zero.
+        self._born: Dict[int, int] = {}
+        #: The view's local round counter (bumped by :meth:`increase_ages`).
+        self._clock: int = 0
+        #: Cached key list for random selection; ``None`` when stale.
+        self._ids: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------ internals
+
+    def _materialize(self, node_id: int) -> NodeDescriptor:
+        """The entry for ``node_id`` with its age brought up to the current clock."""
+        descriptor = self._entries[node_id]
+        age = self._clock - self._born[node_id]
+        if descriptor.age != age:
+            descriptor = descriptor.with_age(age)
+            self._entries[node_id] = descriptor
+        return descriptor
+
+    def _id_list(self) -> List[int]:
+        ids = self._ids
+        if ids is None:
+            ids = self._ids = list(self._entries)
+        return ids
+
+    def _store(self, descriptor: NodeDescriptor) -> None:
+        """Insert a descriptor (caller has checked capacity / freshness)."""
+        node_id = descriptor.node_id
+        if node_id not in self._entries:
+            self._ids = None
+        self._entries[node_id] = descriptor
+        self._born[node_id] = self._clock - descriptor.age
+
+    def _discard(self, node_id: int) -> None:
+        del self._entries[node_id]
+        del self._born[node_id]
+        self._ids = None
 
     # ------------------------------------------------------------------ container API
 
@@ -32,7 +93,7 @@ class PartialView:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[NodeDescriptor]:
-        return iter(list(self._entries.values()))
+        return iter(self.descriptors())
 
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._entries
@@ -49,15 +110,29 @@ class PartialView:
     def free_slots(self) -> int:
         return max(0, self.capacity - len(self._entries))
 
+    @property
+    def round_clock(self) -> int:
+        """The view's internal round counter (diagnostics/benchmarks)."""
+        return self._clock
+
     def get(self, node_id: int) -> Optional[NodeDescriptor]:
-        return self._entries.get(node_id)
+        if node_id not in self._entries:
+            return None
+        return self._materialize(node_id)
+
+    def age_of(self, node_id: int) -> Optional[int]:
+        """The effective age of an entry without materialising a descriptor."""
+        born = self._born.get(node_id)
+        if born is None:
+            return None
+        return self._clock - born
 
     def descriptors(self) -> List[NodeDescriptor]:
-        """A snapshot list of the current descriptors."""
-        return list(self._entries.values())
+        """A snapshot list of the current descriptors (ages as of the current clock)."""
+        return [self._materialize(node_id) for node_id in self._entries]
 
     def node_ids(self) -> List[int]:
-        return list(self._entries.keys())
+        return list(self._entries)
 
     # ------------------------------------------------------------------ mutation
 
@@ -68,14 +143,16 @@ class PartialView:
         entries are replaced only by fresher (younger) descriptors, matching the
         paper's ``updateView`` first branch.
         """
-        existing = self._entries.get(descriptor.node_id)
-        if existing is not None:
-            if descriptor.is_fresher_than(existing):
-                self._entries[descriptor.node_id] = descriptor.copy()
+        node_id = descriptor.node_id
+        existing_born = self._born.get(node_id)
+        if existing_born is not None:
+            # Fresher ⇔ smaller effective age ⇔ larger born round.
+            if self._clock - descriptor.age > existing_born:
+                self._store(descriptor)
             return True
-        if self.is_full:
+        if len(self._entries) >= self.capacity:
             return False
-        self._entries[descriptor.node_id] = descriptor.copy()
+        self._store(descriptor)
         return True
 
     def force_add(self, descriptor: NodeDescriptor, evict: Optional[int] = None) -> None:
@@ -88,26 +165,36 @@ class PartialView:
             oldest = self.oldest()
             victim = oldest.node_id if oldest is not None else None
         if victim is not None:
-            del self._entries[victim]
-        self._entries[descriptor.node_id] = descriptor.copy()
+            self._discard(victim)
+        self._store(descriptor)
 
     def remove(self, node_id: int) -> Optional[NodeDescriptor]:
         """Remove and return the descriptor for ``node_id`` (or ``None``)."""
-        return self._entries.pop(node_id, None)
+        if node_id not in self._entries:
+            return None
+        descriptor = self._materialize(node_id)
+        self._discard(node_id)
+        return descriptor
 
     def clear(self) -> None:
         self._entries.clear()
+        self._born.clear()
+        self._ids = None
 
     def increase_ages(self, increment: int = 1) -> None:
-        """Age every descriptor by ``increment`` rounds (start of each gossip round)."""
-        for node_id, descriptor in list(self._entries.items()):
-            self._entries[node_id] = descriptor.aged(increment)
+        """Age every descriptor by ``increment`` rounds (start of each gossip round).
+
+        O(1): only the view's round counter moves; no descriptor is touched until it
+        is next read through the API.
+        """
+        self._clock += increment
 
     def drop_older_than(self, max_age: int) -> int:
         """Remove descriptors older than ``max_age`` rounds; returns how many were dropped."""
-        stale = [nid for nid, d in self._entries.items() if d.age > max_age]
-        for nid in stale:
-            del self._entries[nid]
+        threshold = self._clock - max_age
+        stale = [node_id for node_id, born in self._born.items() if born < threshold]
+        for node_id in stale:
+            self._discard(node_id)
         return len(stale)
 
     # ------------------------------------------------------------------ selection
@@ -122,19 +209,23 @@ class PartialView:
         ratio estimator, which assumes shuffle targets are chosen uniformly at random.
         Without an ``rng`` the deterministic tie-break is used (handy in tests).
         """
-        if not self._entries:
+        born = self._born
+        if not born:
             return None
-        max_age = max(d.age for d in self._entries.values())
-        candidates = [d for d in self._entries.values() if d.age == max_age]
+        # Highest effective age == smallest born round; one pass over plain ints.
+        min_born = min(born.values())
+        candidates = [node_id for node_id, b in born.items() if b == min_born]
         if rng is None or len(candidates) == 1:
-            return max(candidates, key=lambda d: d.node_id)
-        return rng.choice(candidates)
+            chosen = max(candidates)
+        else:
+            chosen = rng.choice(candidates)
+        return self._materialize(chosen)
 
     def random_descriptor(self, rng: random.Random) -> Optional[NodeDescriptor]:
         """A uniformly random descriptor, or ``None`` if the view is empty."""
         if not self._entries:
             return None
-        return rng.choice(list(self._entries.values()))
+        return self._materialize(rng.choice(self._id_list()))
 
     def random_subset(
         self,
@@ -142,18 +233,21 @@ class PartialView:
         count: int,
         exclude_ids: Optional[Iterable[int]] = None,
     ) -> List[NodeDescriptor]:
-        """Up to ``count`` distinct descriptors chosen uniformly at random (as copies)."""
-        excluded = set(exclude_ids) if exclude_ids is not None else set()
-        candidates = [
-            descriptor
-            for node_id, descriptor in self._entries.items()
-            if node_id not in excluded
-        ]
+        """Up to ``count`` distinct descriptors chosen uniformly at random.
+
+        The returned descriptors are shared (immutable) references with their ages
+        materialised at the current clock, so they are safe to embed in messages as-is.
+        """
+        if exclude_ids is not None:
+            excluded = set(exclude_ids)
+            candidates = [nid for nid in self._entries if nid not in excluded]
+        else:
+            candidates = self._id_list()
         if len(candidates) <= count:
-            chosen = candidates
+            chosen: Sequence[int] = candidates
         else:
             chosen = rng.sample(candidates, count)
-        return [descriptor.copy() for descriptor in chosen]
+        return [self._materialize(node_id) for node_id in chosen]
 
     # ------------------------------------------------------------------ merging
 
@@ -170,27 +264,43 @@ class PartialView:
         peer* (the swapper policy — the information is not lost, the peer now holds it)
         and insert the received one. Descriptors describing ourselves are skipped.
         """
-        sent_queue: List[NodeDescriptor] = [d for d in sent if d.node_id in self._entries]
+        entries = self._entries
+        born = self._born
+        clock = self._clock
+        # A deque keeps the eviction queue O(1) per pop; with large shuffle batches the
+        # previous ``list.pop(0)`` made the merge quadratic in the batch size. Built
+        # eagerly: membership must be tested against the view *before* any received
+        # descriptor is merged (a stale sent entry re-added by ``received`` must not
+        # become eviction-eligible).
+        sent_queue = deque(d for d in sent if d.node_id in entries)
         for incoming in received:
-            if incoming.node_id == self_id:
+            node_id = incoming.node_id
+            if node_id == self_id:
                 continue
-            existing = self._entries.get(incoming.node_id)
-            if existing is not None:
-                if incoming.is_fresher_than(existing):
-                    self._entries[incoming.node_id] = incoming.copy()
+            incoming_born = clock - incoming.age
+            existing_born = born.get(node_id)
+            if existing_born is not None:
+                if incoming_born > existing_born:
+                    entries[node_id] = incoming
+                    born[node_id] = incoming_born
                 continue
-            if not self.is_full:
-                self._entries[incoming.node_id] = incoming.copy()
+            if len(entries) < self.capacity:
+                entries[node_id] = incoming
+                born[node_id] = incoming_born
+                self._ids = None
                 continue
             evicted = False
             while sent_queue:
-                candidate = sent_queue.pop(0)
-                if candidate.node_id in self._entries:
-                    del self._entries[candidate.node_id]
+                candidate = sent_queue.popleft()
+                if candidate.node_id in entries:
+                    del entries[candidate.node_id]
+                    del born[candidate.node_id]
                     evicted = True
                     break
             if evicted:
-                self._entries[incoming.node_id] = incoming.copy()
+                entries[node_id] = incoming
+                born[node_id] = incoming_born
+                self._ids = None
             # If nothing we sent is still present, the received descriptor is dropped —
             # the view keeps its (bounded) current content, as in the paper.
 

@@ -28,12 +28,22 @@ def format_ipv4(value: int) -> str:
     return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
 
 
+#: Memoised successful parses. The simulator re-validates the same bounded set of
+#: addresses on every Endpoint construction and every packet send; caching turns that
+#: into a dict hit. Only valid addresses are cached, so error behaviour is unchanged,
+#: and the cache is bounded by the number of distinct IPs in the topology.
+_PARSE_CACHE: dict = {}
+
+
 def parse_ipv4(text: str) -> int:
-    """Parse a dotted-quad IPv4 string into a 32-bit integer.
+    """Parse a dotted-quad IPv4 string into a 32-bit integer (memoised).
 
     >>> parse_ipv4('10.0.0.1') == 0x0A000001
     True
     """
+    cached = _PARSE_CACHE.get(text)
+    if cached is not None:
+        return cached
     parts = text.split(".")
     if len(parts) != 4:
         raise ConfigurationError(f"not a dotted-quad IPv4 address: {text!r}")
@@ -46,6 +56,7 @@ def parse_ipv4(text: str) -> int:
         if not 0 <= octet <= 255:
             raise ConfigurationError(f"octet out of range in {text!r}")
         value = (value << 8) | octet
+    _PARSE_CACHE[text] = value
     return value
 
 

@@ -5,6 +5,15 @@ entries — because the protocols above it only need three primitives: *schedule
 after a delay*, *cancel it*, and *what time is it now*. Determinism is a first-class
 requirement: two runs with the same seed and the same scenario produce identical event
 orders, which the integration tests rely on.
+
+Hot-path notes
+--------------
+Events carry an optional single ``arg`` slot so high-volume callers (one scheduled
+delivery per network packet) can schedule a bound method plus its argument directly
+instead of allocating a closure per packet. The kernel also maintains a live-event
+counter so :attr:`Simulator.pending_events` is O(1) instead of an O(queue) scan, and
+the run loop pops each heap entry exactly once (cancelled entries are discarded the
+first time they surface, never re-examined).
 """
 
 from __future__ import annotations
@@ -16,6 +25,9 @@ from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
 
+#: Sentinel distinguishing "no argument" from "argument is None".
+_NO_ARG = object()
+
 
 class EventHandle:
     """A cancellable reference to a scheduled event.
@@ -25,23 +37,33 @@ class EventHandle:
     cancel large numbers of timeouts (every successfully answered request cancels one).
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "arg", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        arg: object = _NO_ARG,
+        sim: Optional["Simulator"] = None,
+    ) -> None:
         self.time = time
         self.seq = seq
-        self.callback: Optional[Callable[[], None]] = callback
+        self.callback: Optional[Callable[..., None]] = callback
+        self.arg = arg
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Safe to call more than once."""
+        """Prevent the event from firing. Safe to call more than once (or after firing)."""
+        if self.cancelled:
+            return
         self.cancelled = True
-        self.callback = None
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+        if self.callback is not None:
+            # Still pending (never fired): drop it from the owning kernel's live count.
+            self.callback = None
+            if self._sim is not None:
+                self._sim._live_events -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -69,44 +91,72 @@ class Simulator:
         self.seed = seed
         self.now: float = 0.0
         self.rng = random.Random(seed)
-        self._queue: List[EventHandle] = []
+        # The heap stores (time, seq, handle) tuples: unique sequence numbers break
+        # time ties, so comparisons stay inside C tuple code and never reach the
+        # handle object (EventHandle needs no __lt__ at all).
+        self._queue: List[tuple] = []
         self._seq = 0
         self._events_executed = 0
+        self._live_events = 0
         self._running = False
 
     # ------------------------------------------------------------------ scheduling
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` to run at absolute virtual time ``time`` (ms)."""
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        arg: object = _NO_ARG,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run at absolute virtual time ``time`` (ms).
+
+        If ``arg`` is given, the callback is invoked as ``callback(arg)`` — the
+        allocation-free alternative to wrapping the argument in a lambda.
+        """
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event in the past: t={time} < now={self.now}"
             )
-        handle = EventHandle(time, self._seq, callback)
+        handle = EventHandle(time, self._seq, callback, arg, self)
         self._seq += 1
-        heapq.heappush(self._queue, handle)
+        self._live_events += 1
+        heapq.heappush(self._queue, (time, handle.seq, handle))
         return handle
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        arg: object = _NO_ARG,
+    ) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` milliseconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule_at(self.now + delay, callback)
+        return self.schedule_at(self.now + delay, callback, arg)
 
     # ------------------------------------------------------------------ execution
 
+    def _fire(self, handle: EventHandle) -> None:
+        """Execute one live event that has already been popped from the heap."""
+        self.now = handle.time
+        callback = handle.callback
+        arg = handle.arg
+        handle.callback = None
+        self._live_events -= 1
+        self._events_executed += 1
+        if arg is _NO_ARG:
+            callback()  # type: ignore[misc]
+        else:
+            callback(arg)  # type: ignore[misc]
+
     def step(self) -> bool:
         """Execute the next pending event. Returns ``False`` if the queue is empty."""
-        while self._queue:
-            handle = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            handle = heapq.heappop(queue)[2]
             if handle.cancelled:
                 continue
-            self.now = handle.time
-            callback = handle.callback
-            handle.callback = None
-            self._events_executed += 1
-            if callback is not None:
-                callback()
+            self._fire(handle)
             return True
         return False
 
@@ -131,19 +181,21 @@ class Simulator:
             The number of events executed by this call.
         """
         executed = 0
+        queue = self._queue
         self._running = True
         try:
-            while self._queue:
+            while queue:
                 if max_events is not None and executed >= max_events:
                     break
-                head = self._queue[0]
+                head = queue[0][2]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    # Discard exactly once; the entry is never re-examined.
+                    heapq.heappop(queue)
                     continue
                 if until is not None and head.time > until:
                     break
-                if not self.step():
-                    break
+                heapq.heappop(queue)
+                self._fire(head)
                 executed += 1
             if until is not None and self.now < until:
                 # Advance the clock even if no event lands exactly on the horizon, so
@@ -183,12 +235,12 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for handle in self._queue if not handle.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1): a live counter)."""
+        return self._live_events
 
     @property
     def events_executed(self) -> int:
-        """Total number of events executed so far."""
+        """Total number of live (non-cancelled) callbacks executed so far."""
         return self._events_executed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

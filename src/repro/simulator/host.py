@@ -61,6 +61,11 @@ class Host:
         self.natbox = natbox
         self.alive = True
         self.components: Dict[int, "Component"] = {}
+        # Per-port source endpoints, built once instead of per packet. The cache stays
+        # valid for the host's lifetime: NAT-type identification swaps the address for
+        # one with the same endpoints (with_nat_type), and a host that rejoins after a
+        # failure is a brand-new Host object.
+        self._source_endpoints: Dict[int, Endpoint] = {}
         network.register_host(self)
 
     # ------------------------------------------------------------------ identity
@@ -87,6 +92,14 @@ class Host:
         if self.address.private_endpoint is not None:
             return self.address.private_endpoint
         return self.address.endpoint
+
+    def source_endpoint(self, src_port: int) -> Endpoint:
+        """The (cached) endpoint a datagram sent from ``src_port`` originates from."""
+        endpoint = self._source_endpoints.get(src_port)
+        if endpoint is None:
+            endpoint = Endpoint(self.local_endpoint.ip, src_port)
+            self._source_endpoints[src_port] = endpoint
+        return endpoint
 
     # ------------------------------------------------------------------ components
 

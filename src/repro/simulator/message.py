@@ -34,8 +34,16 @@ class Message:
 
     @property
     def wire_size(self) -> int:
-        """Total on-the-wire size in bytes including IP and UDP headers."""
-        return UDP_IP_HEADER_SIZE + self.payload_size()
+        """Total on-the-wire size in bytes including IP and UDP headers.
+
+        Cached after the first computation: the traffic monitor reads the size on both
+        send and receive, and message contents never change once the message is sent.
+        """
+        cached = getattr(self, "_wire_size_cache", None)
+        if cached is None:
+            cached = UDP_IP_HEADER_SIZE + self.payload_size()
+            self._wire_size_cache = cached
+        return cached
 
     @property
     def type_name(self) -> str:

@@ -70,6 +70,8 @@ class Network:
             if existing is not None and existing is not host:
                 raise NetworkError(f"IP {ip} already registered to {existing!r}")
             self._ip_table[ip] = host
+            # Warm the shared parse_ipv4 memo so the first packet pays no parse.
+            parse_ipv4(ip)
         else:
             natbox = host.natbox
             existing = self._ip_table.get(natbox.external_ip)
@@ -80,6 +82,9 @@ class Network:
                     f"external IP {natbox.external_ip} already registered to {existing!r}"
                 )
             natbox.attach_host(host)
+            # Latency is always resolved from the NAT's *external* IP (the wire
+            # source after outbound translation), so that is what we pre-parse.
+            parse_ipv4(natbox.external_ip)
 
     def unregister_host(self, host: Host) -> None:
         """Detach a (failed) host. NAT boxes stay registered; they just lead nowhere."""
@@ -100,7 +105,7 @@ class Network:
         """Send one datagram. See the module docstring for the pipeline."""
         if not host.alive:
             return
-        internal_source = Endpoint(host.local_endpoint.ip, src_port)
+        internal_source = host.source_endpoint(src_port)
         if host.natbox is not None:
             wire_source = host.natbox.translate_outbound(
                 internal_source, destination, self.sim.now
@@ -118,6 +123,8 @@ class Network:
             self.monitor.record_drop("link_loss")
             return
 
+        # parse_ipv4 is memoised, so both lookups are dict hits: no string parsing
+        # on the per-packet path.
         delay = self.latency_model.latency(
             parse_ipv4(wire_source.ip), parse_ipv4(destination.ip)
         )
@@ -128,7 +135,8 @@ class Network:
             sender=host.address,
             sent_at=self.sim.now,
         )
-        self.sim.schedule(delay, lambda: self._deliver(packet))
+        # Direct (callback, arg) event slot: no per-packet closure allocation.
+        self.sim.schedule(delay, self._deliver, packet)
 
     # ------------------------------------------------------------------ delivery
 

@@ -35,11 +35,29 @@ class TestNodeDescriptor:
         assert older.age == 3
         assert d.age == 2
 
-    def test_copy_is_independent(self):
+    def test_copy_shares_the_immutable_instance(self):
         d = make_descriptor(1)
         clone = d.copy()
-        assert clone is not d
+        assert clone is d  # descriptors are immutable: sharing is always safe
         assert clone.node_id == d.node_id and clone.age == d.age
+
+    def test_descriptor_is_immutable(self):
+        d = make_descriptor(1, age=2)
+        with pytest.raises(AttributeError):
+            d.age = 99
+        with pytest.raises(AttributeError):
+            del d.age
+        assert d.age == 2
+
+    def test_with_age_derives_new_descriptor(self):
+        d = make_descriptor(1, age=2)
+        older = d.with_age(7)
+        assert older.age == 7 and older is not d
+        assert d.with_age(2) is d  # no-op rebinding returns the same object
+
+    def test_wire_size_is_cached_and_stable(self):
+        d = make_descriptor(1)
+        assert d.wire_size == d.wire_size == 12
 
     def test_freshness_comparison(self):
         assert make_descriptor(1, age=1).is_fresher_than(make_descriptor(1, age=5))
@@ -89,11 +107,14 @@ class TestPartialViewBasics:
         assert 1 not in view
         assert view.remove(1) is None
 
-    def test_descriptors_are_copies(self):
+    def test_stored_descriptors_cannot_be_corrupted(self):
         view = PartialView(3)
         original = make_descriptor(1, age=0)
         view.add(original)
-        original.age = 99
+        # Descriptors are immutable, so the view can store shared references without
+        # any caller being able to mutate its contents from the outside.
+        with pytest.raises(AttributeError):
+            original.age = 99
         assert view.get(1).age == 0
 
     def test_force_add_evicts_oldest_by_default(self):
@@ -119,6 +140,34 @@ class TestAgeing:
         view.increase_ages()
         assert view.get(1).age == 1
         assert view.get(2).age == 4
+
+    def test_increase_ages_is_lazy(self):
+        """Ageing bumps one counter; descriptors materialise on access only."""
+        view = PartialView(5)
+        view.add(make_descriptor(1, age=0))
+        view.increase_ages(3)
+        assert view.round_clock == 3
+        assert view.age_of(1) == 3
+        first = view.get(1)
+        assert first.age == 3
+        # A second read at the same clock returns the cached materialisation.
+        assert view.get(1) is first
+
+    def test_entries_added_after_ageing_keep_relative_ages(self):
+        view = PartialView(5)
+        view.add(make_descriptor(1, age=0))
+        view.increase_ages(5)
+        view.add(make_descriptor(2, age=2))
+        view.increase_ages()
+        assert view.get(1).age == 6
+        assert view.get(2).age == 3
+
+    def test_iteration_materialises_current_ages(self):
+        view = PartialView(5)
+        view.add(make_descriptor(1, age=1))
+        view.add(make_descriptor(2, age=4))
+        view.increase_ages(2)
+        assert sorted((d.node_id, d.age) for d in view) == [(1, 3), (2, 6)]
 
     def test_drop_older_than(self):
         view = PartialView(5)
@@ -172,12 +221,20 @@ class TestSelection:
         everything = view.random_subset(rng, 50)
         assert len(everything) == 10
 
-    def test_random_subset_returns_copies(self):
+    def test_random_subset_entries_are_immutable(self):
         view = PartialView(3)
         view.add(make_descriptor(1, age=0))
         subset = view.random_subset(random.Random(0), 1)
-        subset[0].age = 42
+        with pytest.raises(AttributeError):
+            subset[0].age = 42
         assert view.get(1).age == 0
+
+    def test_random_subset_carries_current_ages(self):
+        view = PartialView(3)
+        view.add(make_descriptor(1, age=0))
+        view.increase_ages(4)
+        subset = view.random_subset(random.Random(0), 1)
+        assert subset[0].age == 4  # sender-relative age at send time
 
 
 class TestUpdateView:
@@ -225,3 +282,33 @@ class TestUpdateView:
         received = [make_descriptor(100 + i) for i in range(6)]
         view.update_view(sent=sent, received=received, self_id=99)
         assert len(view) <= 4
+
+    def test_large_batch_swapper_eviction(self):
+        """Regression test for the O(n²) ``sent_queue.pop(0)`` eviction.
+
+        A large view merging a large received batch must evict the sent descriptors in
+        FIFO order, one per admitted newcomer, with the queue drained exactly once —
+        the deque-based queue keeps this linear in the batch size.
+        """
+        size = 5000
+        view = PartialView(size)
+        for node_id in range(size):
+            view.add(make_descriptor(node_id))
+        assert view.is_full
+        sent = [view.get(node_id) for node_id in range(size)]
+        received = [make_descriptor(size + i) for i in range(size)]
+        view.update_view(sent=sent, received=received, self_id=10 * size)
+        assert len(view) == size
+        # Every received descriptor displaced exactly one sent descriptor, in order.
+        assert all(size + i in view for i in range(size))
+        assert all(node_id not in view for node_id in range(size))
+
+    def test_swapper_eviction_skips_already_evicted_sent_entries(self):
+        view = PartialView(2)
+        view.add(make_descriptor(1))
+        view.add(make_descriptor(2))
+        sent = [view.get(1), view.get(2)]
+        view.remove(1)  # sent entry no longer present: the queue must skip it
+        view.add(make_descriptor(3))
+        view.update_view(sent=sent, received=[make_descriptor(7)], self_id=99)
+        assert 7 in view and 2 not in view and 3 in view

@@ -165,6 +165,133 @@ class TestPrivateTraversal:
         assert len(private.received) == 0
 
 
+class RecordingLatency(ConstantLatency):
+    """Constant latency that records the (src, dst) integer endpoint keys it is asked for."""
+
+    def __init__(self, delay_ms: float = 10.0):
+        super().__init__(delay_ms)
+        self.pairs = []
+
+    def latency(self, src_id: int, dst_id: int) -> float:
+        self.pairs.append((src_id, dst_id))
+        return self.delay_ms
+
+
+class TestCachedEndpointRouting:
+    """The pre-parsed IP cache must not change what the latency model observes.
+
+    ``Network.send`` no longer parses address strings per packet; it resolves both
+    endpoints through a cache warmed at host registration. These tests pin down the
+    wire semantics: NAT-translated packets still resolve latency from the NAT's
+    *external* IP, and registration/unregistration/churn keep routing correct.
+    """
+
+    @staticmethod
+    def _build(sim):
+        from tests.conftest import HostFactory
+
+        latency = RecordingLatency(10.0)
+        network = Network(sim, latency_model=latency, monitor=TrafficMonitor())
+        return latency, network, HostFactory(sim, network)
+
+    def test_registration_prewarms_the_parse_cache(self, sim):
+        from repro.net.address import _PARSE_CACHE, parse_ipv4
+
+        _, network, factory = self._build(sim)
+        public = factory.public_host()
+        private = factory.private_host()
+        # Registration resolves both routable IPs through the memoised parser, so
+        # the first packet's latency lookup is a dict hit, not a string parse.
+        assert _PARSE_CACHE[public.address.endpoint.ip] == parse_ipv4(
+            public.address.endpoint.ip
+        )
+        assert _PARSE_CACHE[private.natbox.external_ip] == parse_ipv4(
+            private.natbox.external_ip
+        )
+
+    def test_nat_translated_packet_uses_external_ip_for_latency(self, sim):
+        from repro.net.address import parse_ipv4
+
+        latency, _, factory = self._build(sim)
+        public = ProbeComponent(factory.public_host())
+        private_host = factory.private_host()
+        private = ProbeComponent(private_host)
+        public.start(), private.start()
+        private.send(public.self_endpoint, Probe(tag="out"))
+        sim.run()
+        external = parse_ipv4(private_host.natbox.external_ip)
+        internal = parse_ipv4(private_host.local_endpoint.ip)
+        target = parse_ipv4(public.address.endpoint.ip)
+        # Outbound: latency keyed on the NAT's external IP, never the private one.
+        assert latency.pairs[0] == (external, target)
+        assert all(internal not in pair for pair in latency.pairs)
+        # The reply is keyed back towards the NAT's external IP.
+        assert latency.pairs[1] == (target, external)
+        assert len(private.replies) == 1
+
+    def test_unregistered_host_stops_routing_despite_cached_parse(self, sim):
+        _, network, factory = self._build(sim)
+        a = ProbeComponent(factory.public_host())
+        b = ProbeComponent(factory.public_host())
+        a.start(), b.start()
+        b_endpoint = b.self_endpoint
+        b.host.kill()  # unregisters from the network; the pure parse cache may remain
+        a.send(b_endpoint, Probe(tag="late"))
+        sim.run()
+        assert b.received == []
+        assert network.monitor.drop_count("unknown_destination") == 1
+
+    def test_churned_private_node_routes_correctly_after_rejoin(self, sim):
+        """Kill a private node, attach a fresh one behind the same NAT box: the cached
+        endpoint keys must keep resolving latency from the (unchanged) external IP."""
+        from repro.net.address import parse_ipv4
+
+        latency, _, factory = self._build(sim)
+        public = ProbeComponent(factory.public_host())
+        first_host = factory.private_host()
+        first = ProbeComponent(first_host)
+        public.start(), first.start()
+        first.send(public.self_endpoint, Probe(tag="first"))
+        sim.run()
+        assert len(public.received) == 1
+
+        first_host.kill()
+        from repro.net.address import Endpoint, NatType, NodeAddress
+        from repro.simulator.host import Host
+
+        rejoined_address = NodeAddress(
+            node_id=first_host.node_id + 100_000,
+            endpoint=Endpoint(first_host.natbox.external_ip, 7000),
+            nat_type=NatType.PRIVATE,
+            private_endpoint=Endpoint("10.9.9.9", 7000),
+        )
+        rejoined = ProbeComponent(
+            Host(sim, public.host.network, rejoined_address, natbox=first_host.natbox)
+        )
+        rejoined.start()
+        latency.pairs.clear()
+        rejoined.send(public.self_endpoint, Probe(tag="rejoined"))
+        sim.run()
+        assert len(public.received) == 2
+        external = parse_ipv4(first_host.natbox.external_ip)
+        assert latency.pairs[0][0] == external
+        assert len(rejoined.replies) == 1
+
+    def test_send_to_unseen_destination_fills_cache_on_demand(self, sim):
+        from repro.net.address import _PARSE_CACHE, Endpoint, parse_ipv4
+
+        _, network, factory = self._build(sim)
+        a = ProbeComponent(factory.public_host())
+        a.start()
+        unknown = Endpoint("9.9.9.9", 7000)
+        a.send(unknown, Probe(tag="void"))
+        sim.run()
+        # Never registered, so the packet is dropped — but the latency lookup that
+        # preceded the drop cached the parsed endpoint on demand.
+        assert _PARSE_CACHE["9.9.9.9"] == parse_ipv4("9.9.9.9")
+        assert network.monitor.drop_count("unknown_destination") == 1
+
+
 class TestLossAndAccounting:
     def test_full_loss_blocks_delivery(self, sim):
         monitor = TrafficMonitor()

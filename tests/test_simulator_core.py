@@ -107,6 +107,55 @@ class TestRunControl:
         sim.run()
         assert sim.events_executed == 1
 
+    def test_events_executed_counts_only_live_callbacks(self, sim):
+        """Cancelled events are skipped (exactly once per heap pop) and never counted."""
+        fired = []
+        handles = [
+            sim.schedule(index + 1, lambda index=index: fired.append(index))
+            for index in range(10)
+        ]
+        for handle in handles[::2]:
+            handle.cancel()
+        executed = sim.run()
+        assert executed == 5
+        assert sim.events_executed == 5
+        assert fired == [1, 3, 5, 7, 9]
+        assert sim.pending_events == 0
+
+    def test_pending_events_counter_tracks_cancel_and_execution(self, sim):
+        handles = [sim.schedule(i + 1, lambda: None) for i in range(4)]
+        assert sim.pending_events == 4
+        handles[0].cancel()
+        handles[0].cancel()  # idempotent: must not double-decrement
+        assert sim.pending_events == 3
+        sim.run(until=2)
+        assert sim.pending_events == 2
+        # Cancelling an already-executed handle must not corrupt the counter.
+        handles[1].cancel()
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_executed == 3
+
+    def test_schedule_with_argument_slot(self, sim):
+        """The (callback, arg) slot delivers the argument without a closure."""
+        received = []
+        sim.schedule(5, received.append, "packet")
+        sim.schedule(6, received.append, None)  # None is a legitimate argument
+        sim.run()
+        assert received == ["packet", None]
+
+    def test_max_events_does_not_count_cancelled_events(self, sim):
+        fired = []
+        keep = sim.schedule(1, lambda: fired.append("keep"))
+        for i in range(5):
+            sim.schedule(2 + i, lambda: fired.append("cancelled")).cancel()
+        sim.schedule(10, lambda: fired.append("late"))
+        executed = sim.run(max_events=2)
+        assert executed == 2
+        assert fired == ["keep", "late"]
+        assert keep.callback is None
+
 
 class TestRngDerivation:
     def test_same_labels_same_stream(self):
