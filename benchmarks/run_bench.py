@@ -127,6 +127,47 @@ def bench_micro() -> dict:
     return results
 
 
+def bench_matrix_throughput(workers_list=(1, 2, 4), cells: int = 8) -> dict:
+    """Matrix-runner throughput (cells/minute) at several worker counts.
+
+    Runs the same fixed-seed grid at each worker count and asserts the aggregates stay
+    byte-identical before recording any timing — parallel scaling must never change
+    results. On single-core containers the scaling is flat; the trajectory records
+    that honestly.
+    """
+    from repro.experiments.matrix import MatrixSpec
+    from repro.experiments.runner import aggregate_json_bytes, run_matrix
+
+    spec = MatrixSpec(
+        scenarios=("static",),
+        protocols=("croupier",),
+        sizes=(100,),
+        seeds=cells,
+        rounds=10,
+        latency="constant",
+        root_seed=5,
+    )
+    results = {}
+    reference = None
+    for workers in workers_list:
+        run = run_matrix(spec, workers=workers)
+        if run.failed:
+            raise SystemExit(f"matrix bench cell failed: {run.failed[0].error}")
+        blob = aggregate_json_bytes(run)
+        if reference is None:
+            reference = blob
+        elif blob != reference:
+            raise SystemExit(
+                f"FIDELITY FAILURE: matrix aggregate differs at workers={workers}"
+            )
+        results[f"workers_{workers}"] = {
+            "cells": len(run.results),
+            "seconds": round(run.wall_seconds, 3),
+            "cells_per_minute": round(60.0 * len(run.results) / run.wall_seconds, 1),
+        }
+    return results
+
+
 def bench_scenario(n_public: int, n_private: int, rounds: int, seed: int = 3) -> dict:
     """Time one full Croupier scenario and capture its (deterministic) outputs."""
     started = time.perf_counter()
@@ -166,6 +207,7 @@ def main() -> int:
         "mode": "quick" if args.quick else "full",
         "python": sys.version.split()[0],
         "micro_seconds": bench_micro(),
+        "matrix_throughput": bench_matrix_throughput(),
         "seed_baselines": SEED_BASELINES,
     }
 

@@ -12,6 +12,16 @@ runs 60 one-second gossip rounds in the discrete-event simulator and prints:
 Run it with::
 
     python examples/quickstart.py [seed]
+
+CI (badge: ``.github/workflows/ci.yml``) runs this script — and every other example —
+as a subprocess smoke test on each push/PR, plus the tier-1 tests, the bench smoke and
+an experiment-matrix parity check. Reproduce the whole gate locally with::
+
+    ./scripts/ci.sh
+
+or explore the full protocol × scenario × size × seed grid yourself::
+
+    PYTHONPATH=src python -m repro matrix --list
 """
 
 from __future__ import annotations

@@ -6,13 +6,16 @@
 #
 #   ./scripts/bench_smoke.sh            # quick scenario (300 nodes x 30 rounds)
 #   BENCH_FULL=1 ./scripts/bench_smoke.sh   # full acceptance scenario (1000 x 100)
+#   BENCH_SKIP_TESTS=1 ./scripts/bench_smoke.sh   # bench only (CI runs tests itself)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 tests =="
-python -m pytest tests/ -x -q
+if [ "${BENCH_SKIP_TESTS:-0}" != "1" ]; then
+    echo "== tier-1 tests =="
+    python -m pytest tests/ -x -q
+fi
 
 echo
 echo "== hot-path benchmarks =="

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Local mirror of the CI gate (.github/workflows/ci.yml): byte-compile the package,
+# run the tier-1 tests, the <=60s bench smoke, and a mini experiment-matrix whose
+# aggregate must be byte-identical between a 4-worker and a 1-worker run.
+#
+#   ./scripts/ci.sh
+#
+# Runs from any checkout without installing the package (uses `python -m repro`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== compileall =="
+python -m compileall -q src
+
+echo
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== bench smoke (perf trajectory) =="
+BENCH_SKIP_TESTS=1 ./scripts/bench_smoke.sh
+
+echo
+echo "== mini-matrix smoke: 4-vs-1 worker parity =="
+MATRIX_ARGS=(--scenarios static --protocols croupier,cyclon --sizes 60
+             --seeds 2 --rounds 10 --latency constant)
+python -m repro matrix "${MATRIX_ARGS[@]}" --workers 4 --out artifacts/ci-matrix-w4
+python -m repro matrix "${MATRIX_ARGS[@]}" --workers 1 --out artifacts/ci-matrix-w1
+cmp artifacts/ci-matrix-w4/matrix_aggregate.json \
+    artifacts/ci-matrix-w1/matrix_aggregate.json
+echo "parity OK: 4-worker aggregate is byte-identical to the sequential run"
+
+echo
+echo "CI gate passed."

@@ -1,0 +1,281 @@
+"""The ``repro`` command-line interface: one entry point for every way of running this
+reproduction.
+
+Subcommands
+-----------
+``repro run <experiment>``
+    Run one of the figure-level experiment harnesses (scaled-down by default) and print
+    its text report.
+``repro matrix``
+    Expand a declarative experiment matrix (scenario kinds × protocols × sizes × seeds)
+    and execute it on a sharded multiprocess pool, writing JSON/CSV/markdown artifacts.
+``repro bench``
+    Run the perf-trajectory benchmark (``benchmarks/run_bench.py``) from a source
+    checkout.
+``repro report <aggregate.json>``
+    Re-render the markdown summary of a previously written matrix aggregate.
+
+Examples, benchmarks and CI all drive these same code paths: the CI gate
+(``.github/workflows/ci.yml`` / ``scripts/ci.sh``) runs a mini-matrix through
+``repro matrix`` and compares the aggregate bytes across worker counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import runpy
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.version import __version__
+
+
+def _build_runners() -> Dict[str, Callable]:
+    """Experiments runnable via ``repro run``: CLI args -> a harness result with
+    ``to_text()``. Built on demand so the CLI starts without importing the stack."""
+    from repro import experiments as exp
+
+    return {
+        "quick": lambda a: exp.quick_croupier_run(
+            n_public=max(1, a.nodes // 5),
+            n_private=a.nodes - max(1, a.nodes // 5),
+            rounds=a.rounds,
+            seed=a.seed,
+            latency=a.latency,
+        ),
+        "history-static": lambda a: exp.run_history_window_experiment(
+            dynamic=False,
+            n_public=max(1, a.nodes // 5),
+            n_private=a.nodes - max(1, a.nodes // 5),
+            rounds=a.rounds,
+            seed=a.seed,
+            latency=a.latency,
+        ),
+        "history-dynamic": lambda a: exp.run_history_window_experiment(
+            dynamic=True,
+            n_public=max(1, a.nodes // 5),
+            n_private=a.nodes - max(1, a.nodes // 5),
+            rounds=a.rounds,
+            seed=a.seed,
+            latency=a.latency,
+        ),
+        "system-size": lambda a: exp.run_system_size_experiment(
+            sizes=(a.nodes // 2, a.nodes), rounds=a.rounds, seed=a.seed, latency=a.latency
+        ),
+        "ratio-sweep": lambda a: exp.run_ratio_sweep_experiment(
+            total_nodes=a.nodes, rounds=a.rounds, seed=a.seed, latency=a.latency
+        ),
+        "churn": lambda a: exp.run_churn_experiment(
+            total_nodes=a.nodes, rounds=a.rounds, seed=a.seed, latency=a.latency
+        ),
+        "randomness": lambda a: exp.run_randomness_experiment(
+            total_nodes=a.nodes, rounds=a.rounds, seed=a.seed, latency=a.latency
+        ),
+        "overhead": lambda a: exp.run_overhead_experiment(
+            total_nodes=a.nodes,
+            warmup_rounds=max(1, a.rounds // 2),
+            measure_rounds=max(1, a.rounds // 2),
+            seed=a.seed,
+            latency=a.latency,
+        ),
+        "failure": lambda a: exp.run_failure_experiment(
+            total_nodes=a.nodes,
+            warmup_rounds=a.rounds,
+            seed=a.seed,
+            latency=a.latency,
+        ),
+    }
+
+
+def _csv_list(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(item) for item in _csv_list(text)]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Croupier reproduction: experiments, matrices, benchmarks, reports.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one figure-level experiment harness")
+    run.add_argument("experiment", help="harness name (see `repro run list`)")
+    run.add_argument("--nodes", type=int, default=100, help="total system size")
+    run.add_argument("--rounds", type=int, default=60, help="gossip rounds to simulate")
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--latency", default="king", help="king, constant or uniform")
+
+    matrix = subparsers.add_parser(
+        "matrix", help="run a declarative experiment matrix on a worker pool"
+    )
+    matrix.add_argument(
+        "--scenarios",
+        type=_csv_list,
+        default=["static"],
+        help="comma-separated scenario kinds (`--list` shows them)",
+    )
+    matrix.add_argument("--protocols", type=_csv_list, default=["croupier"])
+    matrix.add_argument("--sizes", type=_csv_ints, default=[100])
+    matrix.add_argument("--seeds", type=int, default=1, help="seed indices per cell group")
+    matrix.add_argument("--rounds", type=int, default=30)
+    matrix.add_argument("--public-ratio", type=float, default=0.2)
+    matrix.add_argument("--root-seed", type=int, default=42)
+    matrix.add_argument("--latency", default="king")
+    matrix.add_argument(
+        "--variants",
+        choices=("default", "paper", "first"),
+        default="default",
+        help="which registered parameter variants to expand per scenario kind",
+    )
+    matrix.add_argument("--workers", type=int, default=1)
+    matrix.add_argument("--out", type=Path, default=Path("artifacts/matrix"))
+    matrix.add_argument(
+        "--list", action="store_true", help="list registered scenario kinds and exit"
+    )
+
+    bench = subparsers.add_parser("bench", help="run the perf-trajectory benchmark")
+    bench.add_argument("--quick", action="store_true", help="<=60s smoke subset")
+    bench.add_argument("--output", type=Path, default=None)
+
+    report = subparsers.add_parser(
+        "report", help="render the markdown summary of a matrix aggregate JSON"
+    )
+    report.add_argument("aggregate", type=Path)
+    report.add_argument("--out", type=Path, default=None, help="write instead of print")
+
+    return parser
+
+
+# ------------------------------------------------------------------ subcommands
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runners = _build_runners()
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in sorted(runners):
+            print(f"  {name}")
+        return 0
+    runner = runners.get(args.experiment)
+    if runner is None:
+        print(
+            f"unknown experiment {args.experiment!r}; try: {', '.join(sorted(runners))}",
+            file=sys.stderr,
+        )
+        return 2
+    result = runner(args)
+    print(result.to_text())
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.experiments.matrix import MatrixSpec, SCENARIOS
+    from repro.experiments.runner import run_matrix, write_artifacts
+
+    if args.list:
+        print("registered scenario kinds:")
+        for name in sorted(SCENARIOS):
+            kind = SCENARIOS[name]
+            variants = len(kind.paper_variants) or 1
+            print(f"  {name:<10} ({variants} paper variant(s)) — {kind.description}")
+        return 0
+
+    spec = MatrixSpec(
+        scenarios=args.scenarios,
+        protocols=args.protocols,
+        sizes=args.sizes,
+        seeds=args.seeds,
+        rounds=args.rounds,
+        public_ratio=args.public_ratio,
+        root_seed=args.root_seed,
+        latency=args.latency,
+        variants=args.variants,
+    )
+    print(f"matrix: {spec.describe()} (workers={args.workers})")
+
+    def progress(result, done, total):
+        status = "ok" if result.ok else "FAILED"
+        print(f"  [{done}/{total}] {status}  {result.key}  ({result.duration_s:.1f}s)")
+
+    run = run_matrix(spec, workers=args.workers, progress=progress)
+    paths = write_artifacts(run, args.out)
+    print(f"wall time: {run.wall_seconds:.1f}s, failed cells: {len(run.failed)}")
+    for label, path in sorted(paths.items()):
+        print(f"  {label}: {path}")
+    if run.failed:
+        for result in run.failed:
+            print(f"FAILED {result.key}:\n{result.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    script = Path(__file__).resolve().parents[2] / "benchmarks" / "run_bench.py"
+    if not script.exists():
+        print(
+            "repro bench needs a source checkout (benchmarks/run_bench.py not found "
+            f"next to the package: {script})",
+            file=sys.stderr,
+        )
+        return 2
+    argv = [str(script)]
+    if args.quick:
+        argv.append("--quick")
+    if args.output is not None:
+        argv.extend(["--output", str(args.output)])
+    old_argv = sys.argv
+    sys.argv = argv
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    except SystemExit as exit_info:
+        if exit_info.code is None:
+            return 0
+        if isinstance(exit_info.code, int):
+            return exit_info.code
+        # The bench script aborts with SystemExit("FIDELITY FAILURE: ...") messages.
+        print(exit_info.code, file=sys.stderr)
+        return 1
+    finally:
+        sys.argv = old_argv
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import matrix_markdown_summary
+
+    aggregate = json.loads(args.aggregate.read_text())
+    summary = matrix_markdown_summary(aggregate)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(summary)
+        print(f"wrote {args.out}")
+    else:
+        print(summary)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    commands = {
+        "run": _cmd_run,
+        "matrix": _cmd_matrix,
+        "bench": _cmd_bench,
+        "report": _cmd_report,
+    }
+    try:
+        return commands[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,13 +22,28 @@ Figure 7 (a)               :func:`~repro.experiments.overhead.run_overhead_exper
 Figure 7 (b)               :func:`~repro.experiments.catastrophic_failure.run_failure_experiment`
 Ablations (DESIGN.md A1-A4) :mod:`~repro.experiments.ablations`
 ========================  ==========================================================
+
+Grids of such runs — protocol × scenario kind × system size × seed — are expressed
+declaratively with :class:`~repro.experiments.matrix.MatrixSpec` and executed on a
+sharded multiprocess pool by :func:`~repro.experiments.runner.run_matrix` (the
+``repro matrix`` CLI). See ``docs/experiments.md``.
 """
 
 from repro.experiments.base import (
     EstimationExperimentSpec,
     EstimationRun,
+    run_estimation_cell,
     run_estimation_scenario,
 )
+from repro.experiments.matrix import (
+    CellContext,
+    CellSpec,
+    MatrixSpec,
+    derive_cell_seed,
+    register_scenario,
+    scenario_names,
+)
+from repro.experiments.runner import MatrixRunResult, run_matrix, write_artifacts
 from repro.experiments.catastrophic_failure import FailureExperimentResult, run_failure_experiment
 from repro.experiments.churn import ChurnExperimentResult, run_churn_experiment
 from repro.experiments.history_windows import (
@@ -42,23 +57,33 @@ from repro.experiments.ratio_sweep import RatioSweepResult, run_ratio_sweep_expe
 from repro.experiments.system_size import SystemSizeResult, run_system_size_experiment
 
 __all__ = [
+    "CellContext",
+    "CellSpec",
     "ChurnExperimentResult",
     "EstimationExperimentSpec",
     "EstimationRun",
     "FailureExperimentResult",
     "HistoryWindowResult",
+    "MatrixRunResult",
+    "MatrixSpec",
     "OverheadExperimentResult",
     "QuickRunResult",
     "RandomnessResult",
     "RatioSweepResult",
     "SystemSizeResult",
+    "derive_cell_seed",
     "quick_croupier_run",
+    "register_scenario",
     "run_churn_experiment",
+    "run_estimation_cell",
     "run_estimation_scenario",
     "run_failure_experiment",
     "run_history_window_experiment",
+    "run_matrix",
     "run_overhead_experiment",
     "run_randomness_experiment",
     "run_ratio_sweep_experiment",
     "run_system_size_experiment",
+    "scenario_names",
+    "write_artifacts",
 ]

@@ -5,6 +5,11 @@ estimation error across nodes, sampled once per gossip round — under different
 workloads. :func:`run_estimation_scenario` factors that loop out: build a Croupier
 scenario, attach the requested join/churn/ratio-growth processes, run round by round
 and record an :class:`~repro.metrics.estimation.EstimationErrorSeries`.
+
+This module also hosts the generic *matrix cell* runner: the experiment-matrix layer
+(:mod:`~repro.experiments.matrix`) executes grids of (protocol, scenario, size, seed)
+cells, and the estimation-style scenario kinds (``static``, ``join``, ``ratio``,
+``churn``) all share :func:`run_estimation_cell`, parameterised by the cell's params.
 """
 
 from __future__ import annotations
@@ -14,6 +19,12 @@ from typing import Dict, Optional
 
 from repro.core.config import CroupierConfig
 from repro.errors import ExperimentError
+from repro.experiments.matrix import (
+    CellContext,
+    measure_cell,
+    measure_overhead_window,
+    register_scenario,
+)
 from repro.metrics.estimation import EstimationErrorSeries
 from repro.workload.churn import ChurnProcess
 from repro.workload.join import PoissonJoinProcess
@@ -163,3 +174,102 @@ def run_estimation_scenario(spec: EstimationExperimentSpec) -> EstimationRun:
             "final_max_error": series.final_max_error() or 0.0,
         },
     )
+
+
+# ---------------------------------------------------------------------- matrix cells
+
+
+def run_estimation_cell(ctx: CellContext) -> Dict[str, float]:
+    """Execute one estimation-style matrix cell and return its metric dict.
+
+    Cell params understood (all optional):
+
+    ``join_window_ms``
+        If set, both node classes join over this window following Poisson processes
+        (the Figure 1–5 transient) instead of being created instantly at t=0.
+    ``churn_fraction`` / ``churn_start_round``
+        Steady-state churn as in Figure 5.
+    ``croupier_gamma`` / ``max_estimates``
+        Croupier history/piggyback overrides (the Figure 7a configuration).
+
+    Every cell measures the full standard metric set (:func:`~repro.experiments.matrix.
+    measure_cell`) plus per-class traffic load over the second half of the run.
+    """
+    cell = ctx.cell
+    pss_config = None
+    if cell.protocol == "croupier":
+        gamma = cell.param("croupier_gamma")
+        max_estimates = cell.param("max_estimates")
+        if gamma is not None or max_estimates is not None:
+            pss_config = CroupierConfig(
+                neighbour_history_gamma=int(gamma) if gamma is not None else 50,
+                max_estimates_per_message=(
+                    int(max_estimates) if max_estimates is not None else 10
+                ),
+            )
+    scenario = Scenario(
+        ScenarioConfig(
+            protocol=cell.protocol,
+            seed=ctx.seed,
+            latency=ctx.latency,
+            pss_config=pss_config,
+        )
+    )
+
+    n_public, n_private = ctx.n_public, ctx.n_private
+    join_window_ms = cell.param("join_window_ms")
+    if join_window_ms:
+        PoissonJoinProcess(
+            scenario,
+            public=True,
+            count=n_public,
+            mean_interarrival_ms=float(join_window_ms) / max(1, n_public),
+        )
+        if n_private > 0:
+            PoissonJoinProcess(
+                scenario,
+                public=False,
+                count=n_private,
+                mean_interarrival_ms=float(join_window_ms) / max(1, n_private),
+            )
+    else:
+        scenario.populate(n_public, n_private)
+
+    churn_fraction = float(cell.param("churn_fraction", 0.0))
+    if churn_fraction > 0.0:
+        churn_start_round = int(cell.param("churn_start_round", 0))
+        if churn_start_round >= cell.rounds:
+            # A churn onset past the simulated horizon would silently measure a static
+            # system under a churn label; fail the cell instead.
+            raise ExperimentError(
+                f"churn_start_round={churn_start_round} is beyond the cell's "
+                f"rounds={cell.rounds}; raise --rounds (the paper starts churn at t=61)"
+            )
+        ChurnProcess(
+            scenario,
+            fraction_per_round=churn_fraction,
+            start_ms=churn_start_round * scenario.round_ms,
+        )
+
+    series = EstimationErrorSeries(name=cell.key)
+    overhead_window_start = None
+    half = max(1, cell.rounds // 2)
+    for round_index in range(1, cell.rounds + 1):
+        scenario.run_rounds(1)
+        series.record(
+            scenario.now, scenario.true_ratio(), scenario.ratio_estimates(min_rounds=2)
+        )
+        if round_index == half:
+            overhead_window_start = scenario.traffic_snapshot()
+
+    metrics = measure_cell(scenario, series)
+    if overhead_window_start is not None and scenario.now > overhead_window_start.time_ms:
+        measure_overhead_window(scenario, overhead_window_start, metrics)
+    return metrics
+
+
+register_scenario(
+    "static",
+    run_estimation_cell,
+    description="instant population, constant public/private ratio (the baseline grid cell)",
+)

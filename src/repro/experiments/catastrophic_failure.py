@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Sequence
 
+from repro.experiments.matrix import CellContext, measure_cell, register_scenario
 from repro.experiments.report import format_table
 from repro.workload.failure import catastrophic_failure
 from repro.workload.scenario import Scenario, ScenarioConfig
@@ -21,6 +22,36 @@ PAPER_FAILURE_FRACTIONS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
 
 #: Protocols compared in Figure 7(b).
 PAPER_PROTOCOLS = ("croupier", "gozar", "nylon", "cyclon")
+
+
+def run_failure_cell(ctx: CellContext) -> Dict[str, float]:
+    """One Figure 7(b) matrix cell: warm up, kill a fraction of all nodes, measure.
+
+    The cell's ``rounds`` are the warm-up; the connectivity of the surviving overlay is
+    measured immediately after the failure, exactly as the paper does.
+    """
+    cell = ctx.cell
+    fraction = float(cell.param("failure_fraction", 0.5))
+    scenario = Scenario(
+        ScenarioConfig(protocol=cell.protocol, seed=ctx.seed, latency=ctx.latency)
+    )
+    scenario.populate(n_public=ctx.n_public, n_private=ctx.n_private)
+    scenario.run_rounds(cell.rounds)
+    outcome = catastrophic_failure(scenario, fraction)
+    metrics = measure_cell(scenario)
+    metrics["failure_fraction"] = fraction
+    metrics["survivors"] = float(outcome.survivors)
+    metrics["biggest_cluster_fraction"] = outcome.biggest_cluster_fraction
+    return metrics
+
+
+register_scenario(
+    "failure",
+    run_failure_cell,
+    description="catastrophic failure: kill a fraction of all nodes at one instant (Figure 7b)",
+    default_params={"failure_fraction": 0.5},
+    paper_variants=[{"failure_fraction": f} for f in PAPER_FAILURE_FRACTIONS],
+)
 
 
 @dataclass

@@ -12,11 +12,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.base import EstimationExperimentSpec, EstimationRun, run_estimation_scenario
+from repro.experiments.base import (
+    EstimationExperimentSpec,
+    EstimationRun,
+    run_estimation_cell,
+    run_estimation_scenario,
+)
+from repro.experiments.matrix import register_scenario
 from repro.experiments.report import error_series_table, error_summary_table
 
 #: The per-round churn fractions of Figure 5.
 PAPER_CHURN_LEVELS = (0.001, 0.01, 0.025, 0.05)
+
+register_scenario(
+    "churn",
+    run_estimation_cell,
+    description="steady-state churn: a fraction of each node class replaced every round (Figure 5)",
+    default_params={"churn_fraction": 0.01, "churn_start_round": 10},
+    paper_variants=[
+        {"churn_fraction": level, "churn_start_round": 61} for level in PAPER_CHURN_LEVELS
+    ],
+)
 
 
 @dataclass

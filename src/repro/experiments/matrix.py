@@ -1,0 +1,374 @@
+"""The declarative experiment-matrix layer.
+
+The paper's evaluation is a grid — five protocols crossed with system sizes,
+public/private ratios, churn and catastrophic-failure workloads — and this module makes
+that grid a first-class object. A :class:`MatrixSpec` declares the axes (scenario kinds
+× protocols × sizes × seeds); :meth:`MatrixSpec.cells` expands them into
+:class:`CellSpec` values, each with a stable :attr:`~CellSpec.key`; and
+:func:`run_cell` executes one cell with a seed derived deterministically from the root
+seed and the cell key (:func:`repro.simulator.core.derive_seed`), so a cell's outcome
+never depends on which worker process runs it or in what order.
+
+Scenario kinds are *registered*, not hard-coded: every experiment module
+(:mod:`~repro.experiments.base`, :mod:`~repro.experiments.churn`,
+:mod:`~repro.experiments.ratio_sweep`, :mod:`~repro.experiments.system_size`,
+:mod:`~repro.experiments.catastrophic_failure`, :mod:`~repro.experiments.overhead`)
+calls :func:`register_scenario` with a cell runner and the paper's sweep points as
+default variants. The sharded multiprocess executor lives in
+:mod:`~repro.experiments.runner`; the ``repro matrix`` CLI, the benchmarks and CI all
+drive this same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ExperimentError
+from repro.simulator.core import derive_seed
+from repro.workload.scenario import PROTOCOLS
+
+#: JSON-scalar parameter values a cell may carry (they must round-trip through repr()
+#: identically in every process, which rules out floats computed at run time — variants
+#: should use literal constants).
+ParamValue = Union[int, float, str, bool]
+Params = Tuple[Tuple[str, ParamValue], ...]
+
+#: Label used as the first component of every cell-seed derivation.
+_CELL_SEED_LABEL = "matrix-cell"
+
+
+# --------------------------------------------------------------------- cell & matrix
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of the experiment matrix: a single simulated run.
+
+    Cells are frozen (hashable, picklable) so they can be shipped to worker processes
+    and used as dictionary keys. ``params`` is a sorted tuple of ``(name, value)``
+    pairs — the scenario kind's variant knobs (churn fraction, failure fraction,
+    public ratio, ...).
+    """
+
+    scenario: str
+    protocol: str
+    size: int
+    seed_index: int
+    rounds: int
+    public_ratio: float = 0.2
+    params: Params = ()
+
+    @property
+    def key(self) -> str:
+        """Stable identifier: a pure function of the cell's content."""
+        parts = [
+            f"scenario={self.scenario}",
+            f"protocol={self.protocol}",
+            f"size={self.size}",
+            f"seed={self.seed_index}",
+            f"rounds={self.rounds}",
+            f"public_ratio={self.public_ratio:g}",
+        ]
+        parts.extend(f"{name}={value}" for name, value in self.params)
+        return ";".join(parts)
+
+    def param(self, name: str, default: ParamValue = None) -> ParamValue:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def validate(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ExperimentError(
+                f"unknown scenario kind {self.scenario!r}; registered: {scenario_names()}"
+            )
+        if self.protocol not in PROTOCOLS:
+            raise ExperimentError(
+                f"unknown protocol {self.protocol!r}; expected one of {sorted(PROTOCOLS)}"
+            )
+        if self.size <= 0:
+            raise ExperimentError("cell size must be positive")
+        if self.rounds <= 0:
+            raise ExperimentError("cell rounds must be positive")
+        if not 0.0 < self.public_ratio <= 1.0:
+            raise ExperimentError(f"public_ratio out of range: {self.public_ratio}")
+
+
+def derive_cell_seed(root_seed: int, cell_key: str) -> int:
+    """The seed a cell runs with: hash(root seed, cell key) via the simulator's rule."""
+    return derive_seed(root_seed, _CELL_SEED_LABEL, cell_key)
+
+
+@dataclass
+class MatrixSpec:
+    """A declarative experiment grid: scenario kinds × protocols × sizes × seeds.
+
+    ``seeds`` is a *count* of seed indices (0..seeds-1); each cell's actual simulator
+    seed is derived from ``root_seed`` and the cell key, so changing any axis value
+    changes only the affected cells' seeds, never the others'.
+
+    ``variants`` controls which of a scenario kind's registered parameter variants are
+    expanded: ``"default"`` (the kind's single default), ``"paper"`` (the full sweep
+    the paper plots, e.g. all churn levels) or ``"first"`` (the first paper variant).
+    """
+
+    scenarios: Sequence[str] = ("static",)
+    protocols: Sequence[str] = ("croupier",)
+    sizes: Sequence[int] = (100,)
+    seeds: int = 1
+    rounds: int = 30
+    public_ratio: float = 0.2
+    root_seed: int = 42
+    latency: str = "king"
+    variants: str = "default"
+
+    def validate(self) -> List["CellSpec"]:
+        """Validate the axes and every expanded cell; returns the cells so callers
+        (the runner, the CLI) don't have to expand the grid a second time."""
+        if not self.scenarios:
+            raise ExperimentError("matrix needs at least one scenario kind")
+        if not self.protocols:
+            raise ExperimentError("matrix needs at least one protocol")
+        if not self.sizes:
+            raise ExperimentError("matrix needs at least one system size")
+        if self.seeds <= 0:
+            raise ExperimentError("seeds must be positive")
+        if self.rounds <= 0:
+            raise ExperimentError("rounds must be positive")
+        if self.variants not in ("default", "paper", "first"):
+            raise ExperimentError(f"unknown variants mode {self.variants!r}")
+        for name in self.scenarios:
+            if name not in SCENARIOS:
+                raise ExperimentError(
+                    f"unknown scenario kind {name!r}; registered: {scenario_names()}"
+                )
+        cells = self.cells()
+        for cell in cells:
+            cell.validate()
+        return cells
+
+    def cells(self) -> List[CellSpec]:
+        """Expand the axes into cells, in a stable, documented order.
+
+        Order is scenario → variant → protocol → size → seed, exactly as declared;
+        the runner preserves this order in its results regardless of which worker
+        finishes first.
+        """
+        cells: List[CellSpec] = []
+        for scenario_name in self.scenarios:
+            kind = SCENARIOS[scenario_name]
+            for params in kind.expand_variants(self.variants):
+                # A variant's public_ratio is the cell's ratio, not an extra param —
+                # folding it in keeps cell keys free of duplicate fields.
+                variant = dict(params)
+                ratio = float(variant.pop("public_ratio", self.public_ratio))
+                for protocol in self.protocols:
+                    for size in self.sizes:
+                        for seed_index in range(self.seeds):
+                            cells.append(
+                                CellSpec(
+                                    scenario=scenario_name,
+                                    protocol=protocol,
+                                    size=size,
+                                    seed_index=seed_index,
+                                    rounds=self.rounds,
+                                    public_ratio=ratio,
+                                    params=_freeze_params(variant),
+                                )
+                            )
+        keys = [cell.key for cell in cells]
+        if len(set(keys)) != len(keys):
+            raise ExperimentError("matrix expansion produced duplicate cell keys")
+        return cells
+
+    def describe(self) -> str:
+        cells = self.cells()
+        return (
+            f"{len(cells)} cells: scenarios={list(self.scenarios)} × "
+            f"protocols={list(self.protocols)} × sizes={list(self.sizes)} × "
+            f"seeds={self.seeds} (variants={self.variants}, rounds={self.rounds})"
+        )
+
+
+# --------------------------------------------------------------------- registry
+
+
+@dataclass(frozen=True)
+class ScenarioKind:
+    """A registered workload shape that can populate matrix cells.
+
+    ``runner`` receives a :class:`CellContext` and returns a flat ``{metric: number}``
+    dict. ``paper_variants`` are the sweep points of the figure the kind reproduces
+    (each a params dict); ``default_params`` is the single variant used when the matrix
+    doesn't ask for the full paper sweep.
+    """
+
+    name: str
+    runner: Callable[["CellContext"], Dict[str, float]]
+    description: str = ""
+    default_params: Tuple[Tuple[str, ParamValue], ...] = ()
+    paper_variants: Tuple[Params, ...] = ()
+
+    def expand_variants(self, mode: str) -> List[Params]:
+        if mode == "paper" and self.paper_variants:
+            return list(self.paper_variants)
+        if mode == "first" and self.paper_variants:
+            return [self.paper_variants[0]]
+        return [self.default_params]
+
+
+#: Global scenario-kind registry, filled by the experiment modules at import time.
+SCENARIOS: Dict[str, ScenarioKind] = {}
+
+
+def register_scenario(
+    name: str,
+    runner: Callable[["CellContext"], Dict[str, float]],
+    description: str = "",
+    default_params: Optional[Mapping[str, ParamValue]] = None,
+    paper_variants: Optional[Sequence[Mapping[str, ParamValue]]] = None,
+    replace: bool = False,
+) -> ScenarioKind:
+    """Register a scenario kind under ``name`` (used by experiment modules and tests).
+
+    Note for parallel runs: the pool runner forks where the platform allows, so kinds
+    registered at run time (tests, notebooks) are visible in workers. Under a spawn
+    start method (e.g. Windows) only kinds registered at import time of
+    :mod:`repro.experiments` exist in workers — put custom kinds in an importable
+    module there, or run with ``workers=1``.
+    """
+    if name in SCENARIOS and not replace:
+        raise ExperimentError(f"scenario kind {name!r} already registered")
+    kind = ScenarioKind(
+        name=name,
+        runner=runner,
+        description=description,
+        default_params=_freeze_params(default_params or {}),
+        paper_variants=tuple(_freeze_params(v) for v in (paper_variants or ())),
+    )
+    SCENARIOS[name] = kind
+    return kind
+
+
+def unregister_scenario(name: str) -> None:
+    SCENARIOS.pop(name, None)
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def _freeze_params(params: Mapping[str, ParamValue]) -> Params:
+    return tuple(sorted(params.items()))
+
+
+# --------------------------------------------------------------------- execution
+
+
+@dataclass
+class CellContext:
+    """Everything a scenario-kind runner needs to execute one cell."""
+
+    cell: CellSpec
+    seed: int
+    latency: str = "king"
+
+    @property
+    def n_public(self) -> int:
+        ratio = float(self.cell.param("public_ratio", self.cell.public_ratio))
+        return max(1, int(round(self.cell.size * ratio)))
+
+    @property
+    def n_private(self) -> int:
+        return max(0, self.cell.size - self.n_public)
+
+
+def run_cell(cell: CellSpec, root_seed: int, latency: str = "king") -> Dict[str, float]:
+    """Execute one cell and return its metrics (raises on unknown kinds or runner errors)."""
+    cell.validate()
+    kind = SCENARIOS[cell.scenario]
+    context = CellContext(cell=cell, seed=derive_cell_seed(root_seed, cell.key), latency=latency)
+    metrics = kind.runner(context)
+    return dict(sorted(metrics.items()))
+
+
+# --------------------------------------------------------------------- measurement
+
+# Percentiles reported for the per-cell estimation-error series.
+_SERIES_PERCENTILES = ((50, "p50"), (90, "p90"))
+
+
+def measure_cell(scenario, error_series=None) -> Dict[str, float]:
+    """The standard per-cell metric set, measured on a finished scenario.
+
+    Covers what the paper's figures plot: ω̂ estimation error (mean/max tails plus
+    series percentiles, Croupier only), in-degree distribution statistics and graph
+    randomness (Figure 6), partition connectivity (Figure 7b) and per-class traffic
+    overhead when the caller measured one (Figure 7a). All values are pure functions
+    of the cell seed, so aggregates are byte-identical across worker counts.
+    """
+    from repro.metrics.collector import percentile
+    from repro.metrics.graph import (
+        average_clustering_coefficient,
+        average_path_length,
+        build_overlay_graph,
+        degree_statistics,
+    )
+    from repro.metrics.partition import largest_cluster_fraction
+
+    metrics: Dict[str, float] = {
+        "live_nodes": float(scenario.live_count()),
+        "true_ratio": scenario.true_ratio(),
+        "events_executed": float(scenario.sim.events_executed),
+        "packets_sent": float(scenario.network.packets_sent),
+    }
+
+    estimates = [e for e in scenario.ratio_estimates() if e is not None]
+    if estimates:
+        metrics["est_mean"] = sum(estimates) / len(estimates)
+    if error_series is not None and len(error_series):
+        avg_series = error_series.avg_error_series()
+        final_avg = error_series.final_avg_error()
+        final_max = error_series.final_max_error()
+        if final_avg is not None:
+            metrics["est_err_avg_final"] = final_avg
+        if final_max is not None:
+            metrics["est_err_max_final"] = final_max
+        for q, label in _SERIES_PERCENTILES:
+            if avg_series:
+                metrics[f"est_err_avg_{label}"] = percentile(avg_series, q)
+
+    graph = build_overlay_graph(scenario.overlay_graph())
+    if graph:
+        stats = degree_statistics(graph)
+        metrics["indeg_mean"] = stats["mean"]
+        metrics["indeg_stddev"] = stats["stddev"]
+        metrics["indeg_max"] = stats["max"]
+        metrics["biggest_cluster_fraction"] = largest_cluster_fraction(graph)
+        metrics_rng = scenario.sim.derive_rng("matrix-metrics")
+        path = average_path_length(graph, sample_sources=30, rng=metrics_rng)
+        clustering = average_clustering_coefficient(graph)
+        if path is not None:
+            metrics["path_length"] = path
+        if clustering is not None:
+            metrics["clustering"] = clustering
+    return metrics
+
+
+def measure_overhead_window(scenario, window_start, metrics: Dict[str, float]) -> None:
+    """Add the Figure 7(a) per-class load numbers for a measurement window."""
+    from repro.metrics.overhead import measure_overhead
+
+    report = measure_overhead(
+        protocol=scenario.config.protocol,
+        monitor=scenario.monitor,
+        window_start=window_start,
+        now_ms=scenario.now,
+        public_node_ids=scenario.live_public_ids(),
+        private_node_ids=scenario.live_private_ids(),
+    )
+    metrics["public_bps"] = report.public_bytes_per_second
+    metrics["private_bps"] = report.private_bytes_per_second
+    metrics["all_bps"] = report.all_bytes_per_second

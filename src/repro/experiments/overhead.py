@@ -14,6 +14,8 @@ from typing import Dict, Optional, Sequence
 
 from repro.constants import DEFAULT_PUBLIC_RATIO
 from repro.core.config import CroupierConfig
+from repro.experiments.base import run_estimation_cell
+from repro.experiments.matrix import register_scenario
 from repro.experiments.report import format_table
 from repro.metrics.overhead import OverheadReport, measure_overhead
 from repro.workload.scenario import Scenario, ScenarioConfig
@@ -21,6 +23,15 @@ from repro.workload.scenario import Scenario, ScenarioConfig
 #: Protocols compared in Figure 7(a). Cyclon (public nodes only) is the baseline the
 #: paper's figure normalises against ("protocol overhead relative to Cyclon").
 PAPER_PROTOCOLS = ("croupier", "gozar", "nylon", "cyclon")
+
+
+register_scenario(
+    "overhead",
+    run_estimation_cell,
+    description="steady-state per-class traffic load, Croupier at the paper's "
+    "overhead configuration α=25, γ=100, ≤10 piggy-backed estimates (Figure 7a)",
+    default_params={"croupier_gamma": 100, "max_estimates": 10},
+)
 
 
 @dataclass

@@ -11,11 +11,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
-from repro.experiments.base import EstimationExperimentSpec, EstimationRun, run_estimation_scenario
+from repro.experiments.base import (
+    EstimationExperimentSpec,
+    EstimationRun,
+    run_estimation_cell,
+    run_estimation_scenario,
+)
+from repro.experiments.matrix import register_scenario
 from repro.experiments.report import error_series_table, error_summary_table
 
 #: The public/private ratios of Figure 4.
 PAPER_RATIOS = (0.05, 0.1, 0.2, 0.33, 0.5, 0.9)
+
+register_scenario(
+    "ratio",
+    run_estimation_cell,
+    description="instant population at a swept public/private ratio (Figure 4)",
+    default_params={"public_ratio": 0.2},
+    paper_variants=[{"public_ratio": ratio} for ratio in PAPER_RATIOS],
+)
 
 
 @dataclass

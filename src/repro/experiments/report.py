@@ -132,6 +132,57 @@ def key_value_table(
     return format_table(["metric", "value"], [[k, v] for k, v in pairs], title=title)
 
 
+def matrix_markdown_summary(aggregate: Mapping) -> str:
+    """Render a matrix aggregate (see :mod:`repro.experiments.runner`) as markdown.
+
+    One row per cell group (seeds collapsed), with the headline metrics the paper's
+    figures plot; failed cells get their own section so CI logs surface them.
+    """
+    spec = aggregate.get("spec", {})
+    groups = aggregate.get("groups", {})
+    failed = aggregate.get("failed", [])
+    total_cells = len(aggregate.get("cells", {}))
+
+    headline = (
+        ("est_err_avg_final", "ω̂ err (avg)"),
+        ("est_err_max_final", "ω̂ err (max)"),
+        ("biggest_cluster_fraction", "biggest cluster"),
+        ("path_length", "path len"),
+        ("all_bps", "all B/s"),
+    )
+    lines = [
+        "# Experiment matrix summary",
+        "",
+        f"- scenarios: `{', '.join(spec.get('scenarios', []))}`"
+        f" (variants: {spec.get('variants', 'default')})",
+        f"- protocols: `{', '.join(spec.get('protocols', []))}`",
+        f"- sizes: {', '.join(str(s) for s in spec.get('sizes', []))}"
+        f" × seeds: {spec.get('seeds', '?')} × rounds: {spec.get('rounds', '?')}",
+        f"- root seed: {spec.get('root_seed', '?')}, latency: {spec.get('latency', '?')}",
+        f"- cells: {total_cells} total, {len(failed)} failed",
+        "",
+        "## Groups (mean over seeds)",
+        "",
+        "| group | cells | " + " | ".join(label for _, label in headline) + " |",
+        "|" + "---|" * (2 + len(headline)),
+    ]
+    for group_name, metrics in groups.items():
+        count = 0
+        for summary in metrics.values():
+            count = max(count, int(summary.get("count", 0)))
+        row = [f"`{group_name}`", str(count)]
+        for metric, _label in headline:
+            summary = metrics.get(metric)
+            row.append(_fmt(summary["mean"]) if summary else "-")
+        lines.append("| " + " | ".join(row) + " |")
+
+    if failed:
+        lines.extend(["", "## Failed cells", ""])
+        lines.extend(f"- `{key}`" for key in failed)
+    lines.append("")
+    return "\n".join(lines)
+
+
 def comparison_rows(values: Dict[str, Dict[str, float]]) -> List[List[object]]:
     """Flatten ``{row_label: {column: value}}`` into table rows with stable ordering."""
     columns = sorted({c for row in values.values() for c in row})

@@ -1,0 +1,261 @@
+"""Sharded multiprocess execution of experiment matrices.
+
+:func:`run_matrix` expands a :class:`~repro.experiments.matrix.MatrixSpec` into cells
+and executes them either in-process (``workers=1``) or on a ``multiprocessing`` pool,
+one cell per dispatch (shard granularity 1, so workers stay load-balanced however
+uneven the cells are). Each cell runs with a seed derived from the root seed and the
+cell key, and its metrics are streamed back as the cell finishes; a cell whose runner
+raises becomes a *failed cell* in the result — it never crashes or hangs the pool.
+
+Determinism contract: the aggregate produced by :func:`aggregate_json_bytes` is
+byte-identical for the same spec regardless of worker count, because cell seeds are
+order-independent, results are re-sorted into spec order, wall-clock times are kept out
+of the aggregate, and the JSON is serialised with sorted keys. CI relies on this (see
+``scripts/ci.sh``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.matrix import CellSpec, MatrixSpec, derive_cell_seed, run_cell
+
+#: Schema tag written into every aggregate, so downstream tooling can detect drift.
+AGGREGATE_SCHEMA = "repro-matrix-aggregate-v1"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one executed cell: metrics on success, a traceback string on failure."""
+
+    cell: CellSpec
+    seed: int
+    status: str  # "ok" | "failed"
+    metrics: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+    duration_s: float = 0.0  # wall clock; informational only, never aggregated
+
+    @property
+    def key(self) -> str:
+        return self.cell.key
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class MatrixRunResult:
+    """Everything a matrix run produced: per-cell results plus the aggregate dict."""
+
+    spec: MatrixSpec
+    results: List[CellResult]
+    workers: int
+    wall_seconds: float
+
+    @property
+    def failed(self) -> List[CellResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def aggregate(self) -> Dict:
+        return build_aggregate(self.spec, self.results)
+
+
+def _execute_cell(payload: Tuple[CellSpec, int, str]) -> CellResult:
+    """Top-level worker entry point (must be picklable for the multiprocessing pool).
+
+    Any exception from the cell runner is captured into a failed :class:`CellResult`;
+    the worker process itself always returns normally, so one bad cell can never take
+    the pool down with it.
+    """
+    cell, root_seed, latency = payload
+    # Under a spawn start method the registry is empty until the experiment modules
+    # run their register_scenario() calls; importing the package triggers them.
+    import repro.experiments  # noqa: F401
+
+    seed = derive_cell_seed(root_seed, cell.key)
+    started = time.perf_counter()
+    try:
+        metrics = run_cell(cell, root_seed=root_seed, latency=latency)
+    except Exception:
+        return CellResult(
+            cell=cell,
+            seed=seed,
+            status="failed",
+            error=traceback.format_exc(limit=20),
+            duration_s=time.perf_counter() - started,
+        )
+    return CellResult(
+        cell=cell,
+        seed=seed,
+        status="ok",
+        metrics=metrics,
+        duration_s=time.perf_counter() - started,
+    )
+
+
+def _pool_context():
+    """Fork where available (fast, inherits in-process registrations), else spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def run_matrix(
+    spec: MatrixSpec,
+    workers: int = 1,
+    progress: Optional[Callable[[CellResult, int, int], None]] = None,
+) -> MatrixRunResult:
+    """Execute every cell of ``spec`` and return results in spec order.
+
+    Parameters
+    ----------
+    workers:
+        1 runs sequentially in-process; N > 1 uses a pool of N processes with one cell
+        per dispatch. Results are identical either way (the parity test and CI enforce
+        byte-identical aggregates).
+    progress:
+        Optional callback invoked as each cell completes (out of order under a pool)
+        with ``(result, completed_count, total)``.
+    """
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    cells = spec.validate()
+    payloads = [(cell, spec.root_seed, spec.latency) for cell in cells]
+    started = time.perf_counter()
+    by_key: Dict[str, CellResult] = {}
+
+    def note(result: CellResult) -> None:
+        by_key[result.key] = result
+        if progress is not None:
+            progress(result, len(by_key), len(cells))
+
+    if workers == 1 or len(cells) <= 1:
+        for payload in payloads:
+            note(_execute_cell(payload))
+    else:
+        context = _pool_context()
+        with context.Pool(processes=min(workers, len(cells))) as pool:
+            for result in pool.imap_unordered(_execute_cell, payloads, chunksize=1):
+                note(result)
+
+    results = [by_key[cell.key] for cell in cells]
+    return MatrixRunResult(
+        spec=spec,
+        results=results,
+        workers=workers,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+# ------------------------------------------------------------------ aggregation
+
+
+def _group_key(cell: CellSpec) -> str:
+    """Cells differing only in seed index aggregate into one group."""
+    parts = [f"scenario={cell.scenario}"]
+    parts.extend(f"{name}={value}" for name, value in cell.params)
+    parts.append(f"protocol={cell.protocol}")
+    parts.append(f"size={cell.size}")
+    return ";".join(parts)
+
+
+def build_aggregate(spec: MatrixSpec, results: List[CellResult]) -> Dict:
+    """The canonical aggregate structure (see :data:`AGGREGATE_SCHEMA`).
+
+    Contains only deterministic values — no wall-clock times, hostnames or dates — so
+    that re-running the same spec reproduces the same bytes.
+    """
+    from repro.metrics.collector import aggregate_groups, aggregate_metrics
+
+    cells_section = {}
+    grouped: Dict[str, List[Dict[str, float]]] = {}
+    ok_rows: List[Dict[str, float]] = []
+    for result in results:
+        entry: Dict[str, object] = {"seed": result.seed, "status": result.status}
+        if result.ok:
+            entry["metrics"] = result.metrics
+            grouped.setdefault(_group_key(result.cell), []).append(result.metrics)
+            ok_rows.append(result.metrics)
+        else:
+            entry["error"] = result.error
+        cells_section[result.key] = entry
+
+    return {
+        "schema": AGGREGATE_SCHEMA,
+        "spec": {
+            "scenarios": list(spec.scenarios),
+            "protocols": list(spec.protocols),
+            "sizes": list(spec.sizes),
+            "seeds": spec.seeds,
+            "rounds": spec.rounds,
+            "public_ratio": spec.public_ratio,
+            "root_seed": spec.root_seed,
+            "latency": spec.latency,
+            "variants": spec.variants,
+        },
+        "cells": cells_section,
+        "groups": aggregate_groups(grouped),
+        "overall": aggregate_metrics(ok_rows) if ok_rows else {},
+        "failed": sorted(r.key for r in results if not r.ok),
+    }
+
+
+def aggregate_json_bytes(result: MatrixRunResult) -> bytes:
+    """Canonical serialisation of the aggregate — the byte-identity unit CI compares."""
+    return (json.dumps(result.aggregate, indent=1, sort_keys=True) + "\n").encode("utf-8")
+
+
+# ------------------------------------------------------------------ artifacts
+
+
+def cells_csv_text(result: MatrixRunResult) -> str:
+    """Wide CSV: one row per cell, one column per metric (union, sorted)."""
+    metric_names = sorted({name for r in result.results for name in r.metrics})
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(
+        ["cell_key", "scenario", "protocol", "size", "seed_index", "seed", "status"]
+        + metric_names
+    )
+    for r in result.results:
+        row = [
+            r.key,
+            r.cell.scenario,
+            r.cell.protocol,
+            r.cell.size,
+            r.cell.seed_index,
+            r.seed,
+            r.status,
+        ]
+        row.extend(repr(r.metrics[name]) if name in r.metrics else "" for name in metric_names)
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_artifacts(result: MatrixRunResult, out_dir: Path) -> Dict[str, Path]:
+    """Write the aggregate JSON, per-cell CSV and markdown summary under ``out_dir``."""
+    from repro.experiments.report import matrix_markdown_summary
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "aggregate": out_dir / "matrix_aggregate.json",
+        "cells": out_dir / "matrix_cells.csv",
+        "summary": out_dir / "matrix_summary.md",
+    }
+    paths["aggregate"].write_bytes(aggregate_json_bytes(result))
+    paths["cells"].write_text(cells_csv_text(result))
+    paths["summary"].write_text(matrix_markdown_summary(result.aggregate))
+    return paths

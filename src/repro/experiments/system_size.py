@@ -10,11 +10,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.base import EstimationExperimentSpec, EstimationRun, run_estimation_scenario
+from repro.experiments.base import (
+    EstimationExperimentSpec,
+    EstimationRun,
+    run_estimation_cell,
+    run_estimation_scenario,
+)
+from repro.experiments.matrix import register_scenario
 from repro.experiments.report import error_series_table, error_summary_table
 
 #: The system sizes of Figure 3.
 PAPER_SYSTEM_SIZES = (50, 100, 500, 1000, 5000)
+
+register_scenario(
+    "join",
+    run_estimation_cell,
+    description="both node classes join over a Poisson window, then the ratio stays constant "
+    "(Figure 3's workload; sweep the matrix size axis for the full figure)",
+    default_params={"join_window_ms": 5000.0},
+)
 
 
 @dataclass

@@ -29,6 +29,23 @@ from repro.errors import SimulationError
 _NO_ARG = object()
 
 
+def derive_seed(root_seed: object, *labels: object) -> int:
+    """Derive an independent 64-bit seed from a root seed and a label path.
+
+    This is the one seed-derivation rule in the codebase: :meth:`Simulator.derive_rng`
+    uses it for per-component RNG streams, and the experiment-matrix runner uses it to
+    give every (protocol, scenario, size, seed) cell its own deterministic seed, so a
+    cell's result is a pure function of the root seed and its key — independent of
+    which worker process runs it, or in what order.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(root_seed).encode("utf-8"))
+    for label in labels:
+        digest.update(b"\x1f")
+        digest.update(repr(label).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big")
+
+
 class EventHandle:
     """A cancellable reference to a scheduled event.
 
@@ -223,13 +240,7 @@ class Simulator:
         >>> a.random() == b.random()
         True
         """
-        digest = hashlib.sha256()
-        digest.update(str(self.seed).encode("utf-8"))
-        for label in labels:
-            digest.update(b"\x1f")
-            digest.update(repr(label).encode("utf-8"))
-        derived_seed = int.from_bytes(digest.digest()[:8], "big")
-        return random.Random(derived_seed)
+        return random.Random(derive_seed(self.seed, *labels))
 
     # ------------------------------------------------------------------ introspection
 

@@ -1,0 +1,65 @@
+"""Subprocess smoke tests for every script under examples/.
+
+The examples exercise public API surface that unit tests don't (quickstart,
+dissemination-on-top-of-Croupier, NAT identification, protocol comparison); running
+them in a subprocess catches API drift — like a refactor freezing ``NodeDescriptor`` or
+making ``PartialView`` lazy — before a user does. Sizes are overridden via argv where
+the scripts support it, to keep CI time bounded.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples"
+
+#: script name -> (argv, a string its stdout must contain)
+CASES = {
+    "quickstart.py": ([], "samples drawn through the PSS API"),
+    "gossip_dissemination.py": (["60", "25"], "informed"),
+    "nat_identification.py": ([], "UPnP"),
+    "protocol_comparison.py": (["60", "24"], "croupier"),
+}
+
+
+def _run_example(script: str, argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *argv],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+
+
+@pytest.mark.example
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs_clean(script):
+    argv, expected = CASES[script]
+    result = _run_example(script, argv)
+    assert result.returncode == 0, (
+        f"{script} exited {result.returncode}\nstdout:\n{result.stdout[-2000:]}"
+        f"\nstderr:\n{result.stderr[-2000:]}"
+    )
+    assert expected in result.stdout, (
+        f"{script} output drifted: expected {expected!r} in stdout\n{result.stdout[-2000:]}"
+    )
+
+
+def test_all_examples_are_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), (
+        "examples/ changed — update CASES in tests/test_examples.py so every example "
+        "stays under the CI smoke test"
+    )

@@ -1,0 +1,240 @@
+"""Tests for the experiment-matrix layer: spec expansion, seed derivation, the sharded
+multiprocess runner's parity and crash behaviour, aggregation and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.matrix import (
+    SCENARIOS,
+    CellSpec,
+    MatrixSpec,
+    derive_cell_seed,
+    register_scenario,
+    run_cell,
+    unregister_scenario,
+)
+from repro.experiments.runner import (
+    aggregate_json_bytes,
+    build_aggregate,
+    cells_csv_text,
+    run_matrix,
+    write_artifacts,
+)
+from repro.metrics.collector import aggregate_metrics, percentile, summarize_values
+from repro.simulator.core import Simulator, derive_seed
+
+
+# A 2-protocol × 2-seed fixed grid, small enough for CI but real enough to exercise
+# simulation, measurement and aggregation end to end.
+def small_spec(**overrides) -> MatrixSpec:
+    defaults = dict(
+        scenarios=("static",),
+        protocols=("croupier", "cyclon"),
+        sizes=(50,),
+        seeds=2,
+        rounds=6,
+        latency="constant",
+        root_seed=7,
+    )
+    defaults.update(overrides)
+    return MatrixSpec(**defaults)
+
+
+class TestSeedDerivation:
+    def test_cell_seed_is_stable_across_sessions(self):
+        # Pinned values: the derivation is sha256-based, so it must never drift across
+        # platforms or refactors — a drift would silently invalidate every archived
+        # matrix aggregate.
+        key = "scenario=static;protocol=croupier;size=50;seed=0;rounds=6;public_ratio=0.2"
+        assert derive_cell_seed(42, key) == 11297025424507210731
+        assert derive_cell_seed(7, key) == 12240249230855319868
+
+    def test_cell_seed_matches_simulator_derivation_rule(self):
+        key = CellSpec(
+            scenario="static", protocol="croupier", size=10, seed_index=0, rounds=5
+        ).key
+        assert derive_cell_seed(42, key) == derive_seed(42, "matrix-cell", key)
+
+    def test_distinct_cells_get_distinct_seeds(self):
+        cells = small_spec().cells()
+        seeds = {derive_cell_seed(7, cell.key) for cell in cells}
+        assert len(seeds) == len(cells)
+
+    def test_derive_rng_unchanged_by_refactor(self):
+        # derive_seed() was extracted from Simulator.derive_rng; both must agree.
+        sim = Simulator(seed=7)
+        import random
+
+        assert (
+            sim.derive_rng("croupier", 12).random()
+            == random.Random(derive_seed(7, "croupier", 12)).random()
+        )
+
+
+class TestSpecExpansion:
+    def test_grid_size_and_stable_order(self):
+        spec = small_spec(sizes=(30, 50))
+        cells = spec.cells()
+        assert len(cells) == 2 * 2 * 2  # protocols × sizes × seeds
+        assert cells == spec.cells()  # expansion is deterministic
+        assert len({c.key for c in cells}) == len(cells)
+
+    def test_paper_variants_expand(self):
+        spec = small_spec(scenarios=("churn",), protocols=("croupier",), seeds=1,
+                          variants="paper")
+        cells = spec.cells()
+        fractions = {c.param("churn_fraction") for c in cells}
+        assert fractions == {0.001, 0.01, 0.025, 0.05}
+
+    def test_ratio_variant_folds_into_public_ratio(self):
+        spec = small_spec(scenarios=("ratio",), protocols=("croupier",), seeds=1,
+                          variants="paper")
+        ratios = {c.public_ratio for c in spec.cells()}
+        assert 0.05 in ratios and 0.9 in ratios
+        # No duplicate public_ratio field left in the params.
+        assert all(c.param("public_ratio") is None for c in spec.cells())
+
+    def test_validation_rejects_bad_specs(self):
+        with pytest.raises(ExperimentError):
+            small_spec(scenarios=("no-such-kind",)).validate()
+        with pytest.raises(ExperimentError):
+            small_spec(seeds=0).validate()
+        with pytest.raises(ExperimentError):
+            small_spec(protocols=("not-a-protocol",)).validate()
+        with pytest.raises(ExperimentError):
+            run_matrix(small_spec(), workers=0)
+
+
+class TestParallelParity:
+    def test_parallel_aggregate_bytes_identical_to_sequential(self):
+        spec = small_spec()
+        sequential = run_matrix(spec, workers=1)
+        parallel = run_matrix(spec, workers=4)
+        assert len(sequential.results) == 4
+        assert not sequential.failed and not parallel.failed
+        assert aggregate_json_bytes(sequential) == aggregate_json_bytes(parallel)
+        # CSV artifact is deterministic too (it contains no wall-clock values).
+        assert cells_csv_text(sequential) == cells_csv_text(parallel)
+
+    def test_results_come_back_in_spec_order(self):
+        spec = small_spec()
+        run = run_matrix(spec, workers=4)
+        assert [r.key for r in run.results] == [c.key for c in spec.cells()]
+
+
+class TestCrashSurfacing:
+    def test_worker_crash_is_a_failed_cell_not_a_hung_pool(self):
+        def exploding_cell(ctx):
+            raise RuntimeError(f"boom in {ctx.cell.key}")
+
+        register_scenario("boom", exploding_cell, description="test-only crasher")
+        try:
+            spec = small_spec(scenarios=("static", "boom"), protocols=("croupier",),
+                              seeds=1)
+            run = run_matrix(spec, workers=2)
+        finally:
+            unregister_scenario("boom")
+        assert len(run.results) == 2
+        ok = [r for r in run.results if r.ok]
+        failed = run.failed
+        assert len(ok) == 1 and len(failed) == 1
+        assert failed[0].cell.scenario == "boom"
+        assert "RuntimeError" in failed[0].error and "boom" in failed[0].error
+        aggregate = run.aggregate
+        assert aggregate["failed"] == [failed[0].key]
+        assert aggregate["cells"][failed[0].key]["status"] == "failed"
+
+    def test_unknown_scenario_kind_raises_when_run_directly(self):
+        cell = CellSpec(scenario="nope", protocol="croupier", size=10, seed_index=0,
+                        rounds=2)
+        with pytest.raises(ExperimentError):
+            run_cell(cell, root_seed=1)
+
+
+class TestAggregation:
+    def test_percentile_linear_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+        assert percentile([5.0], 90) == 5.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_summaries_and_missing_metrics(self):
+        rows = [{"a": 1.0, "b": 2.0}, {"a": 3.0}]
+        aggregated = aggregate_metrics(rows)
+        assert aggregated["a"]["count"] == 2
+        assert aggregated["a"]["mean"] == pytest.approx(2.0)
+        assert aggregated["b"]["count"] == 1
+        summary = summarize_values([1.0, 2.0, 3.0])
+        assert summary["min"] == 1.0 and summary["max"] == 3.0
+
+    def test_aggregate_contains_no_wall_clock(self):
+        run = run_matrix(small_spec(protocols=("croupier",), seeds=1), workers=1)
+        aggregate = build_aggregate(run.spec, run.results)
+        assert "wall" not in json.dumps(aggregate)
+        assert aggregate["schema"] == "repro-matrix-aggregate-v1"
+
+    def test_croupier_cells_report_estimation_error_metrics(self):
+        run = run_matrix(small_spec(seeds=1), workers=1)
+        by_protocol = {r.cell.protocol: r.metrics for r in run.results}
+        assert "est_err_avg_final" in by_protocol["croupier"]
+        assert "est_err_avg_p90" in by_protocol["croupier"]
+        assert "est_err_avg_final" not in by_protocol["cyclon"]
+        # The non-estimation metrics exist for every protocol.
+        for metrics in by_protocol.values():
+            assert "biggest_cluster_fraction" in metrics
+            assert "all_bps" in metrics
+
+
+class TestArtifactsAndCli:
+    def test_write_artifacts(self, tmp_path):
+        run = run_matrix(small_spec(protocols=("croupier",), seeds=1), workers=1)
+        paths = write_artifacts(run, tmp_path)
+        aggregate = json.loads(paths["aggregate"].read_text())
+        assert aggregate["spec"]["root_seed"] == 7
+        csv_text = paths["cells"].read_text()
+        assert csv_text.splitlines()[0].startswith("cell_key,scenario,protocol")
+        assert "# Experiment matrix summary" in paths["summary"].read_text()
+
+    def test_cli_matrix_and_report_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_dir = tmp_path / "mx"
+        rc = main([
+            "matrix", "--scenarios", "static", "--protocols", "croupier",
+            "--sizes", "40", "--seeds", "1", "--rounds", "4",
+            "--latency", "constant", "--workers", "1", "--out", str(out_dir),
+        ])
+        assert rc == 0
+        aggregate_path = out_dir / "matrix_aggregate.json"
+        assert aggregate_path.exists()
+        assert main(["report", str(aggregate_path)]) == 0
+        captured = capsys.readouterr()
+        assert "Experiment matrix summary" in captured.out
+
+    def test_cli_matrix_exit_code_on_failed_cells(self, tmp_path):
+        from repro.cli import main
+
+        register_scenario("cli-boom", lambda ctx: (_ for _ in ()).throw(RuntimeError("x")),
+                          description="test-only crasher")
+        try:
+            rc = main([
+                "matrix", "--scenarios", "cli-boom", "--protocols", "croupier",
+                "--sizes", "10", "--seeds", "1", "--rounds", "2",
+                "--latency", "constant", "--workers", "1",
+                "--out", str(tmp_path / "mx"),
+            ])
+        finally:
+            unregister_scenario("cli-boom")
+        assert rc == 1
+
+    def test_registry_rejects_duplicates(self):
+        assert "static" in SCENARIOS
+        with pytest.raises(ExperimentError):
+            register_scenario("static", lambda ctx: {})
