@@ -33,4 +33,10 @@ cmp artifacts/ci-matrix-w4/matrix_aggregate.json \
 echo "parity OK: 4-worker aggregate is byte-identical to the sequential run"
 
 echo
+echo "== report --diff smoke: aggregate self-comparison must show zero regressions =="
+python -m repro report --diff artifacts/ci-matrix-w4/matrix_aggregate.json \
+                              artifacts/ci-matrix-w1/matrix_aggregate.json
+echo "trend gate OK: self-diff reports no regressions"
+
+echo
 echo "CI gate passed."

@@ -130,6 +130,20 @@ def build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("--root-seed", type=int, default=42)
     matrix.add_argument("--latency", default="king")
     matrix.add_argument(
+        "--nat-profiles",
+        type=_csv_list,
+        default=["restricted_cone"],
+        help="NAT-profile axis: comma-separated profile names, or 'paper' for the "
+        "paper-setup sweep (full_cone,restricted_cone,port_restricted_cone,symmetric)",
+    )
+    matrix.add_argument(
+        "--loss-rates",
+        type=_csv_list,
+        default=["0"],
+        help="packet-loss axis: comma-separated probabilities, or 'paper' for the "
+        "paper-setup sweep (0,0.01,0.05)",
+    )
+    matrix.add_argument(
         "--variants",
         choices=("default", "paper", "first"),
         default="default",
@@ -146,10 +160,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", type=Path, default=None)
 
     report = subparsers.add_parser(
-        "report", help="render the markdown summary of a matrix aggregate JSON"
+        "report",
+        help="render the markdown summary of a matrix aggregate JSON, or diff two "
+        "aggregates and gate on regressions",
     )
-    report.add_argument("aggregate", type=Path)
+    report.add_argument("aggregate", type=Path, nargs="?", default=None)
     report.add_argument("--out", type=Path, default=None, help="write instead of print")
+    report.add_argument(
+        "--diff",
+        type=Path,
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="compare two aggregates; exits 1 if NEW regresses beyond --tolerance",
+    )
+    report.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative change of a group's metric mean tolerated by --diff (default 5%%)",
+    )
 
     return parser
 
@@ -177,8 +207,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
-    from repro.experiments.matrix import MatrixSpec, SCENARIOS
+    from repro.experiments.matrix import (
+        PAPER_LOSS_RATES,
+        PAPER_NAT_PROFILES,
+        MatrixSpec,
+        SCENARIOS,
+    )
     from repro.experiments.runner import run_matrix, write_artifacts
+    from repro.membership.plugin import all_plugins
 
     if args.list:
         print("registered scenario kinds:")
@@ -186,8 +222,26 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
             kind = SCENARIOS[name]
             variants = len(kind.paper_variants) or 1
             print(f"  {name:<10} ({variants} paper variant(s)) — {kind.description}")
+        print("registered protocols:")
+        for plugin in all_plugins():
+            capabilities = ", ".join(plugin.capability_names())
+            print(f"  {plugin.name:<10} [{capabilities}] — {plugin.description}")
         return 0
 
+    nat_profiles = (
+        list(PAPER_NAT_PROFILES) if args.nat_profiles == ["paper"] else args.nat_profiles
+    )
+    if args.loss_rates == ["paper"]:
+        loss_rates: List[float] = list(PAPER_LOSS_RATES)
+    else:
+        try:
+            loss_rates = [float(rate) for rate in args.loss_rates]
+        except ValueError as error:
+            # 'paper' only works as the sole value; anything unparsable fails cleanly.
+            raise ReproError(
+                f"--loss-rates must be comma-separated probabilities or exactly "
+                f"'paper' (got {','.join(args.loss_rates)!r}): {error}"
+            ) from None
     spec = MatrixSpec(
         scenarios=args.scenarios,
         protocols=args.protocols,
@@ -198,6 +252,8 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         root_seed=args.root_seed,
         latency=args.latency,
         variants=args.variants,
+        nat_profiles=nat_profiles,
+        loss_rates=loss_rates,
     )
     print(f"matrix: {spec.describe()} (workers={args.workers})")
 
@@ -249,8 +305,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.experiments.report import matrix_markdown_summary
+    from repro.experiments.report import diff_aggregates, matrix_markdown_summary
 
+    if args.diff is not None:
+        if args.aggregate is not None:
+            print(
+                "error: give either an aggregate to render or --diff OLD NEW, not both",
+                file=sys.stderr,
+            )
+            return 2
+        old_path, new_path = args.diff
+        diff = diff_aggregates(
+            json.loads(old_path.read_text()),
+            json.loads(new_path.read_text()),
+            tolerance=args.tolerance,
+        )
+        text = diff.to_text()
+        if args.out is not None:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(text + "\n")
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+        if diff.has_regressions:
+            print(
+                f"REGRESSION: {new_path} is worse than {old_path} "
+                f"(see verdicts above)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.aggregate is None:
+        print("error: report needs an aggregate path or --diff OLD NEW", file=sys.stderr)
+        return 2
     aggregate = json.loads(args.aggregate.read_text())
     summary = matrix_markdown_summary(aggregate)
     if args.out is not None:

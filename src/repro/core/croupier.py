@@ -21,7 +21,9 @@ from repro.core.estimator import RatioEstimator
 from repro.core.messages import ShuffleRequest, ShuffleResponse
 from repro.core.sampling import generate_random_sample
 from repro.membership.base import PeerSamplingService
+from repro.membership.capabilities import NatAware, RatioEstimating
 from repro.membership.descriptor import NodeDescriptor
+from repro.membership.plugin import register_protocol
 from repro.membership.policies import select_partner
 from repro.membership.view import PartialView
 from repro.net.address import NodeAddress
@@ -38,7 +40,7 @@ class _PendingShuffle:
     issued_round: int
 
 
-class Croupier(PeerSamplingService):
+class Croupier(PeerSamplingService, RatioEstimating, NatAware):
     """NAT-aware peer sampling without relaying."""
 
     def __init__(self, host: Host, config: Optional[CroupierConfig] = None) -> None:
@@ -234,6 +236,9 @@ class Croupier(PeerSamplingService):
         """The node's current estimate of ω, or ``None`` before any information arrives."""
         return self.estimator.estimate_ratio()
 
+    def private_peer_strategy(self) -> str:
+        return "croupier-indirection"
+
     def view_sizes(self) -> Tuple[int, int]:
         """(public view occupancy, private view occupancy)."""
         return len(self.public_view), len(self.private_view)
@@ -241,3 +246,12 @@ class Croupier(PeerSamplingService):
     @property
     def pending_shuffles(self) -> int:
         return len(self._pending)
+
+
+register_protocol(
+    "croupier",
+    Croupier,
+    CroupierConfig,
+    description="NAT-aware peer sampling without relaying; croupiers shuffle on behalf "
+    "of private nodes and piggy-back ratio estimates (Algorithm 2)",
+)

@@ -36,10 +36,14 @@ from repro.experiments.base import (
     run_estimation_scenario,
 )
 from repro.experiments.matrix import (
+    NAT_PROFILES,
+    PAPER_LOSS_RATES,
+    PAPER_NAT_PROFILES,
     CellContext,
     CellSpec,
     MatrixSpec,
     derive_cell_seed,
+    measure_cell,
     register_scenario,
     scenario_names,
 )
@@ -57,6 +61,9 @@ from repro.experiments.ratio_sweep import RatioSweepResult, run_ratio_sweep_expe
 from repro.experiments.system_size import SystemSizeResult, run_system_size_experiment
 
 __all__ = [
+    "NAT_PROFILES",
+    "PAPER_LOSS_RATES",
+    "PAPER_NAT_PROFILES",
     "CellContext",
     "CellSpec",
     "ChurnExperimentResult",
@@ -72,6 +79,7 @@ __all__ = [
     "RatioSweepResult",
     "SystemSizeResult",
     "derive_cell_seed",
+    "measure_cell",
     "quick_croupier_run",
     "register_scenario",
     "run_churn_experiment",

@@ -18,10 +18,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import CroupierConfig
-from repro.core.croupier import Croupier
 from repro.experiments.report import format_table
+from repro.membership.capabilities import RatioEstimating
 from repro.membership.policies import SelectionPolicy
 from repro.metrics.estimation import average_error
+from repro.metrics.probes import collect_ratio_estimates
 from repro.workload.scenario import Scenario, ScenarioConfig
 
 
@@ -152,7 +153,7 @@ def run_piggyback_bound_ablation(
         )
         scenario.populate(n_public=n_public, n_private=n_private)
         scenario.run_rounds(rounds)
-        estimates = scenario.ratio_estimates()
+        estimates = collect_ratio_estimates(scenario)
         result.avg_error_by_bound[bound] = average_error(scenario.true_ratio(), estimates)
         # Average shuffle message size over the whole run.
         total_bytes = 0
@@ -217,13 +218,12 @@ def run_selection_policy_ablation(
         )
         scenario.populate(n_public=n_public, n_private=n_private)
         scenario.run_rounds(rounds)
-        estimates = scenario.ratio_estimates()
+        estimates = collect_ratio_estimates(scenario)
         result.avg_error_by_policy[policy.value] = average_error(
             scenario.true_ratio(), estimates
         )
         ages: List[int] = []
-        for pss in scenario.croupier_instances():
-            assert isinstance(pss, Croupier)
+        for pss in scenario.services_with(RatioEstimating):
             ages.extend(d.age for d in pss.public_view)
             ages.extend(d.age for d in pss.private_view)
         result.mean_view_age_by_policy[policy.value] = (

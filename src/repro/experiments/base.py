@@ -19,13 +19,10 @@ from typing import Dict, Optional
 
 from repro.core.config import CroupierConfig
 from repro.errors import ExperimentError
-from repro.experiments.matrix import (
-    CellContext,
-    measure_cell,
-    measure_overhead_window,
-    register_scenario,
-)
+from repro.experiments.matrix import CellContext, measure_cell, register_scenario
 from repro.metrics.estimation import EstimationErrorSeries
+from repro.metrics.payload import MetricPayload
+from repro.metrics.probes import collect_ratio_estimates
 from repro.workload.churn import ChurnProcess
 from repro.workload.join import PoissonJoinProcess
 from repro.workload.ratio import RatioGrowthProcess
@@ -161,7 +158,7 @@ def run_estimation_scenario(spec: EstimationExperimentSpec) -> EstimationRun:
         if round_index % spec.measure_every_rounds != 0:
             continue
         true_ratio = scenario.true_ratio()
-        estimates = scenario.ratio_estimates(min_rounds=2)
+        estimates = collect_ratio_estimates(scenario, min_rounds=2)
         series.record(scenario.now, true_ratio, estimates)
 
     return EstimationRun(
@@ -179,8 +176,8 @@ def run_estimation_scenario(spec: EstimationExperimentSpec) -> EstimationRun:
 # ---------------------------------------------------------------------- matrix cells
 
 
-def run_estimation_cell(ctx: CellContext) -> Dict[str, float]:
-    """Execute one estimation-style matrix cell and return its metric dict.
+def run_estimation_cell(ctx: CellContext) -> MetricPayload:
+    """Execute one estimation-style matrix cell and return its metric payload.
 
     Cell params understood (all optional):
 
@@ -189,32 +186,36 @@ def run_estimation_cell(ctx: CellContext) -> Dict[str, float]:
         (the Figure 1–5 transient) instead of being created instantly at t=0.
     ``churn_fraction`` / ``churn_start_round``
         Steady-state churn as in Figure 5.
+    ``alpha`` / ``gamma``
+        Croupier's history windows — the Figure 1/2 sweep (the ``history`` scenario
+        kind drives these).
     ``croupier_gamma`` / ``max_estimates``
-        Croupier history/piggyback overrides (the Figure 7a configuration).
+        Croupier history/piggyback overrides (the Figure 7a configuration;
+        ``croupier_gamma`` is the pre-payload spelling of ``gamma``).
+    ``ratio_growth_start_round`` / ``ratio_growth_count`` / ``ratio_growth_interval_ms``
+        The Figure 2 dynamic-ratio schedule: starting at the given round, add public
+        nodes one every ``interval_ms``.
 
-    Every cell measures the full standard metric set (:func:`~repro.experiments.matrix.
-    measure_cell`) plus per-class traffic load over the second half of the run.
+    Every cell measures the full standard probe set (:func:`~repro.experiments.matrix.
+    measure_cell`) plus per-class traffic load over the second half of the run. The
+    Croupier-specific config params are ignored for protocols without a matching
+    configuration, exactly like the scenario's capability-gated probes.
     """
     cell = ctx.cell
     pss_config = None
     if cell.protocol == "croupier":
-        gamma = cell.param("croupier_gamma")
+        alpha = cell.param("alpha")
+        gamma = cell.param("gamma", cell.param("croupier_gamma"))
         max_estimates = cell.param("max_estimates")
-        if gamma is not None or max_estimates is not None:
+        if alpha is not None or gamma is not None or max_estimates is not None:
             pss_config = CroupierConfig(
+                local_history_alpha=int(alpha) if alpha is not None else 25,
                 neighbour_history_gamma=int(gamma) if gamma is not None else 50,
                 max_estimates_per_message=(
                     int(max_estimates) if max_estimates is not None else 10
                 ),
             )
-    scenario = Scenario(
-        ScenarioConfig(
-            protocol=cell.protocol,
-            seed=ctx.seed,
-            latency=ctx.latency,
-            pss_config=pss_config,
-        )
-    )
+    scenario = Scenario(ctx.scenario_config(pss_config=pss_config))
 
     n_public, n_private = ctx.n_public, ctx.n_private
     join_window_ms = cell.param("join_window_ms")
@@ -251,21 +252,29 @@ def run_estimation_cell(ctx: CellContext) -> Dict[str, float]:
             start_ms=churn_start_round * scenario.round_ms,
         )
 
+    growth_count = int(cell.param("ratio_growth_count", 0))
+    if growth_count > 0:
+        RatioGrowthProcess(
+            scenario,
+            start_ms=float(cell.param("ratio_growth_start_round", 0)) * scenario.round_ms,
+            interval_ms=float(cell.param("ratio_growth_interval_ms", 42.0)),
+            count=growth_count,
+        )
+
     series = EstimationErrorSeries(name=cell.key)
     overhead_window_start = None
     half = max(1, cell.rounds // 2)
     for round_index in range(1, cell.rounds + 1):
         scenario.run_rounds(1)
         series.record(
-            scenario.now, scenario.true_ratio(), scenario.ratio_estimates(min_rounds=2)
+            scenario.now,
+            scenario.true_ratio(),
+            collect_ratio_estimates(scenario, min_rounds=2),
         )
         if round_index == half:
             overhead_window_start = scenario.traffic_snapshot()
 
-    metrics = measure_cell(scenario, series)
-    if overhead_window_start is not None and scenario.now > overhead_window_start.time_ms:
-        measure_overhead_window(scenario, overhead_window_start, metrics)
-    return metrics
+    return measure_cell(scenario, series, overhead_window=overhead_window_start)
 
 
 register_scenario(

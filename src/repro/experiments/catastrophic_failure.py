@@ -32,17 +32,15 @@ def run_failure_cell(ctx: CellContext) -> Dict[str, float]:
     """
     cell = ctx.cell
     fraction = float(cell.param("failure_fraction", 0.5))
-    scenario = Scenario(
-        ScenarioConfig(protocol=cell.protocol, seed=ctx.seed, latency=ctx.latency)
-    )
+    scenario = Scenario(ctx.scenario_config())
     scenario.populate(n_public=ctx.n_public, n_private=ctx.n_private)
     scenario.run_rounds(cell.rounds)
     outcome = catastrophic_failure(scenario, fraction)
-    metrics = measure_cell(scenario)
-    metrics["failure_fraction"] = fraction
-    metrics["survivors"] = float(outcome.survivors)
-    metrics["biggest_cluster_fraction"] = outcome.biggest_cluster_fraction
-    return metrics
+    payload = measure_cell(scenario)
+    payload.set_scalar("failure_fraction", fraction)
+    payload.set_scalar("survivors", float(outcome.survivors))
+    payload.set_scalar("biggest_cluster_fraction", outcome.biggest_cluster_fraction)
+    return payload
 
 
 register_scenario(

@@ -16,11 +16,53 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.experiments.base import EstimationExperimentSpec, EstimationRun, run_estimation_scenario
+from repro.errors import ExperimentError
+from repro.experiments.base import (
+    EstimationExperimentSpec,
+    EstimationRun,
+    run_estimation_cell,
+    run_estimation_scenario,
+)
+from repro.experiments.matrix import CellContext, register_scenario
 from repro.experiments.report import error_series_table, error_summary_table
+from repro.membership.capabilities import RatioEstimating
+from repro.membership.plugin import get_plugin
 
 #: The (α, γ) pairs of Figures 1 and 2.
 PAPER_WINDOW_PAIRS: Tuple[Tuple[int, int], ...] = ((10, 25), (25, 50), (100, 250))
+
+
+def run_history_cell(ctx: CellContext):
+    """One Figure 1/2 matrix cell: the (α, γ) history-window sweep.
+
+    A thin capability gate over :func:`~repro.experiments.base.run_estimation_cell`:
+    the sweep only makes sense for ratio-estimating protocols, so a cell that pairs
+    this kind with e.g. Cyclon fails loudly (a failed cell naming the missing
+    capability) instead of silently measuring nothing. The Figure 2 dynamic-ratio
+    variant rides on the ``ratio_growth_*`` params.
+    """
+    get_plugin(ctx.cell.protocol).require(
+        RatioEstimating, context="the 'history' scenario kind (α/γ sweep)"
+    )
+    if ctx.cell.protocol != "croupier":
+        raise ExperimentError(
+            "the 'history' scenario kind sweeps Croupier's (α, γ) windows; "
+            f"protocol {ctx.cell.protocol!r} has no history-window configuration"
+        )
+    return run_estimation_cell(ctx)
+
+
+register_scenario(
+    "history",
+    run_history_cell,
+    description="Croupier's (α, γ) history-window sweep with a Poisson join transient "
+    "(Figure 1; add ratio_growth_* params for Figure 2's dynamic ratio)",
+    default_params={"alpha": 25, "gamma": 50, "join_window_ms": 5000.0},
+    paper_variants=[
+        {"alpha": alpha, "gamma": gamma, "join_window_ms": 5000.0}
+        for alpha, gamma in PAPER_WINDOW_PAIRS
+    ],
+)
 
 
 @dataclass

@@ -25,8 +25,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import ExperimentError
+from repro.membership.plugin import protocol_names
+from repro.metrics.payload import MetricPayload
+from repro.nat.types import NatProfile
 from repro.simulator.core import derive_seed
-from repro.workload.scenario import PROTOCOLS
 
 #: JSON-scalar parameter values a cell may carry (they must round-trip through repr()
 #: identically in every process, which rules out floats computed at run time — variants
@@ -36,6 +38,26 @@ Params = Tuple[Tuple[str, ParamValue], ...]
 
 #: Label used as the first component of every cell-seed derivation.
 _CELL_SEED_LABEL = "matrix-cell"
+
+#: First-class NAT-profile axis values -> profile factories (see repro.nat.types).
+NAT_PROFILES: Dict[str, Callable[[], NatProfile]] = {
+    "full_cone": NatProfile.full_cone,
+    "restricted_cone": NatProfile.restricted_cone,
+    "port_restricted_cone": NatProfile.port_restricted_cone,
+    "symmetric": NatProfile.symmetric,
+}
+
+#: Axis defaults. Cells at the default value omit the field from their key, so every
+#: pre-axis cell key (and therefore every derived seed and archived aggregate) is
+#: unchanged — the axes are additive.
+DEFAULT_NAT_PROFILE = "restricted_cone"
+DEFAULT_LOSS_RATE = 0.0
+
+#: The paper-setup sweep values for the two deployment axes: Section VII runs
+#: restricted-cone gateways as the base case and calls out the cone spectrum through
+#: symmetric NATs; the loss sweep covers "no loss" to the 5 % uniform loss stress point.
+PAPER_NAT_PROFILES = ("full_cone", "restricted_cone", "port_restricted_cone", "symmetric")
+PAPER_LOSS_RATES = (0.0, 0.01, 0.05)
 
 
 # --------------------------------------------------------------------- cell & matrix
@@ -57,11 +79,18 @@ class CellSpec:
     seed_index: int
     rounds: int
     public_ratio: float = 0.2
+    nat_profile: str = DEFAULT_NAT_PROFILE
+    loss_rate: float = DEFAULT_LOSS_RATE
     params: Params = ()
 
     @property
     def key(self) -> str:
-        """Stable identifier: a pure function of the cell's content."""
+        """Stable identifier: a pure function of the cell's content.
+
+        The deployment axes (``nat_profile``, ``loss_rate``) appear only when they
+        differ from the defaults, so cell keys — and the seeds derived from them —
+        from before those axes existed are unchanged.
+        """
         parts = [
             f"scenario={self.scenario}",
             f"protocol={self.protocol}",
@@ -70,6 +99,10 @@ class CellSpec:
             f"rounds={self.rounds}",
             f"public_ratio={self.public_ratio:g}",
         ]
+        if self.nat_profile != DEFAULT_NAT_PROFILE:
+            parts.append(f"nat_profile={self.nat_profile}")
+        if self.loss_rate != DEFAULT_LOSS_RATE:
+            parts.append(f"loss_rate={self.loss_rate:g}")
         parts.extend(f"{name}={value}" for name, value in self.params)
         return ";".join(parts)
 
@@ -84,10 +117,17 @@ class CellSpec:
             raise ExperimentError(
                 f"unknown scenario kind {self.scenario!r}; registered: {scenario_names()}"
             )
-        if self.protocol not in PROTOCOLS:
+        if self.protocol not in protocol_names():
             raise ExperimentError(
-                f"unknown protocol {self.protocol!r}; expected one of {sorted(PROTOCOLS)}"
+                f"unknown protocol {self.protocol!r}; expected one of {protocol_names()}"
             )
+        if self.nat_profile not in NAT_PROFILES:
+            raise ExperimentError(
+                f"unknown nat_profile {self.nat_profile!r}; expected one of "
+                f"{sorted(NAT_PROFILES)}"
+            )
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ExperimentError(f"loss_rate out of range: {self.loss_rate}")
         if self.size <= 0:
             raise ExperimentError("cell size must be positive")
         if self.rounds <= 0:
@@ -112,6 +152,12 @@ class MatrixSpec:
     ``variants`` controls which of a scenario kind's registered parameter variants are
     expanded: ``"default"`` (the kind's single default), ``"paper"`` (the full sweep
     the paper plots, e.g. all churn levels) or ``"first"`` (the first paper variant).
+
+    ``nat_profiles`` and ``loss_rates`` are first-class deployment axes: the NAT
+    behaviour of private nodes' gateways (names from :data:`NAT_PROFILES`;
+    :data:`PAPER_NAT_PROFILES` is the paper-setup sweep) and the uniform packet-loss
+    probability (:data:`PAPER_LOSS_RATES`). Their defaults reproduce the pre-axis
+    grids exactly, cell keys included.
     """
 
     scenarios: Sequence[str] = ("static",)
@@ -123,6 +169,8 @@ class MatrixSpec:
     root_seed: int = 42
     latency: str = "king"
     variants: str = "default"
+    nat_profiles: Sequence[str] = (DEFAULT_NAT_PROFILE,)
+    loss_rates: Sequence[float] = (DEFAULT_LOSS_RATE,)
 
     def validate(self) -> List["CellSpec"]:
         """Validate the axes and every expanded cell; returns the cells so callers
@@ -133,6 +181,10 @@ class MatrixSpec:
             raise ExperimentError("matrix needs at least one protocol")
         if not self.sizes:
             raise ExperimentError("matrix needs at least one system size")
+        if not self.nat_profiles:
+            raise ExperimentError("matrix needs at least one NAT profile")
+        if not self.loss_rates:
+            raise ExperimentError("matrix needs at least one loss rate")
         if self.seeds <= 0:
             raise ExperimentError("seeds must be positive")
         if self.rounds <= 0:
@@ -152,9 +204,9 @@ class MatrixSpec:
     def cells(self) -> List[CellSpec]:
         """Expand the axes into cells, in a stable, documented order.
 
-        Order is scenario → variant → protocol → size → seed, exactly as declared;
-        the runner preserves this order in its results regardless of which worker
-        finishes first.
+        Order is scenario → variant → protocol → NAT profile → loss rate → size →
+        seed, exactly as declared; the runner preserves this order in its results
+        regardless of which worker finishes first.
         """
         cells: List[CellSpec] = []
         for scenario_name in self.scenarios:
@@ -165,19 +217,23 @@ class MatrixSpec:
                 variant = dict(params)
                 ratio = float(variant.pop("public_ratio", self.public_ratio))
                 for protocol in self.protocols:
-                    for size in self.sizes:
-                        for seed_index in range(self.seeds):
-                            cells.append(
-                                CellSpec(
-                                    scenario=scenario_name,
-                                    protocol=protocol,
-                                    size=size,
-                                    seed_index=seed_index,
-                                    rounds=self.rounds,
-                                    public_ratio=ratio,
-                                    params=_freeze_params(variant),
-                                )
-                            )
+                    for nat_profile in self.nat_profiles:
+                        for loss_rate in self.loss_rates:
+                            for size in self.sizes:
+                                for seed_index in range(self.seeds):
+                                    cells.append(
+                                        CellSpec(
+                                            scenario=scenario_name,
+                                            protocol=protocol,
+                                            size=size,
+                                            seed_index=seed_index,
+                                            rounds=self.rounds,
+                                            public_ratio=ratio,
+                                            nat_profile=nat_profile,
+                                            loss_rate=float(loss_rate),
+                                            params=_freeze_params(variant),
+                                        )
+                                    )
         keys = [cell.key for cell in cells]
         if len(set(keys)) != len(keys):
             raise ExperimentError("matrix expansion produced duplicate cell keys")
@@ -185,11 +241,16 @@ class MatrixSpec:
 
     def describe(self) -> str:
         cells = self.cells()
-        return (
+        description = (
             f"{len(cells)} cells: scenarios={list(self.scenarios)} × "
             f"protocols={list(self.protocols)} × sizes={list(self.sizes)} × "
             f"seeds={self.seeds} (variants={self.variants}, rounds={self.rounds})"
         )
+        if tuple(self.nat_profiles) != (DEFAULT_NAT_PROFILE,):
+            description += f" × nat_profiles={list(self.nat_profiles)}"
+        if tuple(self.loss_rates) != (DEFAULT_LOSS_RATE,):
+            description += f" × loss_rates={list(self.loss_rates)}"
+        return description
 
 
 # --------------------------------------------------------------------- registry
@@ -199,14 +260,15 @@ class MatrixSpec:
 class ScenarioKind:
     """A registered workload shape that can populate matrix cells.
 
-    ``runner`` receives a :class:`CellContext` and returns a flat ``{metric: number}``
-    dict. ``paper_variants`` are the sweep points of the figure the kind reproduces
-    (each a params dict); ``default_params`` is the single variant used when the matrix
-    doesn't ask for the full paper sweep.
+    ``runner`` receives a :class:`CellContext` and returns a
+    :class:`~repro.metrics.payload.MetricPayload` (plain ``{metric: number}`` dicts
+    are still accepted and adapted). ``paper_variants`` are the sweep points of the
+    figure the kind reproduces (each a params dict); ``default_params`` is the single
+    variant used when the matrix doesn't ask for the full paper sweep.
     """
 
     name: str
-    runner: Callable[["CellContext"], Dict[str, float]]
+    runner: Callable[["CellContext"], "MetricPayload"]
     description: str = ""
     default_params: Tuple[Tuple[str, ParamValue], ...] = ()
     paper_variants: Tuple[Params, ...] = ()
@@ -284,91 +346,63 @@ class CellContext:
     def n_private(self) -> int:
         return max(0, self.cell.size - self.n_public)
 
+    def scenario_config(self, pss_config=None):
+        """The :class:`~repro.workload.ScenarioConfig` this cell prescribes: protocol,
+        derived seed, latency, and the deployment axes (NAT profile, loss rate)."""
+        from repro.workload.scenario import ScenarioConfig
 
-def run_cell(cell: CellSpec, root_seed: int, latency: str = "king") -> Dict[str, float]:
-    """Execute one cell and return its metrics (raises on unknown kinds or runner errors)."""
+        return ScenarioConfig(
+            protocol=self.cell.protocol,
+            seed=self.seed,
+            latency=self.latency,
+            loss_rate=self.cell.loss_rate,
+            nat_profile=NAT_PROFILES[self.cell.nat_profile](),
+            pss_config=pss_config,
+        )
+
+
+def run_cell(cell: CellSpec, root_seed: int, latency: str = "king") -> MetricPayload:
+    """Execute one cell and return its :class:`~repro.metrics.payload.MetricPayload`
+    (raises on unknown kinds or runner errors)."""
     cell.validate()
     kind = SCENARIOS[cell.scenario]
     context = CellContext(cell=cell, seed=derive_cell_seed(root_seed, cell.key), latency=latency)
-    metrics = kind.runner(context)
-    return dict(sorted(metrics.items()))
+    measured = kind.runner(context)
+    if not isinstance(measured, MetricPayload):
+        measured = MetricPayload.from_scalars(dict(measured))
+    measured.scalars = dict(sorted(measured.scalars.items()))
+    return measured
 
 
 # --------------------------------------------------------------------- measurement
 
-# Percentiles reported for the per-cell estimation-error series.
-_SERIES_PERCENTILES = ((50, "p50"), (90, "p90"))
 
-
-def measure_cell(scenario, error_series=None) -> Dict[str, float]:
-    """The standard per-cell metric set, measured on a finished scenario.
+def measure_cell(
+    scenario,
+    error_series=None,
+    overhead_window=None,
+    probes=None,
+    path_length_sources: int = 30,
+) -> MetricPayload:
+    """The standard per-cell measurement, run through the pluggable probe set.
 
     Covers what the paper's figures plot: ω̂ estimation error (mean/max tails plus
-    series percentiles, Croupier only), in-degree distribution statistics and graph
+    series percentiles — only for protocols advertising
+    :class:`~repro.membership.capabilities.RatioEstimating`), the in-degree
+    distribution (as summary scalars *and* as the ``in_degree`` histogram), graph
     randomness (Figure 6), partition connectivity (Figure 7b) and per-class traffic
-    overhead when the caller measured one (Figure 7a). All values are pure functions
-    of the cell seed, so aggregates are byte-identical across worker counts.
+    overhead when the caller opened a measurement window (Figure 7a). All values are
+    pure functions of the cell seed, so aggregates are byte-identical across worker
+    counts.
+
+    ``probes`` replaces the default set (:func:`repro.metrics.probes.default_probes`);
+    probes whose required capabilities the protocol lacks are skipped.
     """
-    from repro.metrics.collector import percentile
-    from repro.metrics.graph import (
-        average_clustering_coefficient,
-        average_path_length,
-        build_overlay_graph,
-        degree_statistics,
+    from repro.metrics.probes import ProbeContext, run_probes
+
+    context = ProbeContext(
+        error_series=error_series,
+        overhead_window=overhead_window,
+        path_length_sources=path_length_sources,
     )
-    from repro.metrics.partition import largest_cluster_fraction
-
-    metrics: Dict[str, float] = {
-        "live_nodes": float(scenario.live_count()),
-        "true_ratio": scenario.true_ratio(),
-        "events_executed": float(scenario.sim.events_executed),
-        "packets_sent": float(scenario.network.packets_sent),
-    }
-
-    estimates = [e for e in scenario.ratio_estimates() if e is not None]
-    if estimates:
-        metrics["est_mean"] = sum(estimates) / len(estimates)
-    if error_series is not None and len(error_series):
-        avg_series = error_series.avg_error_series()
-        final_avg = error_series.final_avg_error()
-        final_max = error_series.final_max_error()
-        if final_avg is not None:
-            metrics["est_err_avg_final"] = final_avg
-        if final_max is not None:
-            metrics["est_err_max_final"] = final_max
-        for q, label in _SERIES_PERCENTILES:
-            if avg_series:
-                metrics[f"est_err_avg_{label}"] = percentile(avg_series, q)
-
-    graph = build_overlay_graph(scenario.overlay_graph())
-    if graph:
-        stats = degree_statistics(graph)
-        metrics["indeg_mean"] = stats["mean"]
-        metrics["indeg_stddev"] = stats["stddev"]
-        metrics["indeg_max"] = stats["max"]
-        metrics["biggest_cluster_fraction"] = largest_cluster_fraction(graph)
-        metrics_rng = scenario.sim.derive_rng("matrix-metrics")
-        path = average_path_length(graph, sample_sources=30, rng=metrics_rng)
-        clustering = average_clustering_coefficient(graph)
-        if path is not None:
-            metrics["path_length"] = path
-        if clustering is not None:
-            metrics["clustering"] = clustering
-    return metrics
-
-
-def measure_overhead_window(scenario, window_start, metrics: Dict[str, float]) -> None:
-    """Add the Figure 7(a) per-class load numbers for a measurement window."""
-    from repro.metrics.overhead import measure_overhead
-
-    report = measure_overhead(
-        protocol=scenario.config.protocol,
-        monitor=scenario.monitor,
-        window_start=window_start,
-        now_ms=scenario.now,
-        public_node_ids=scenario.live_public_ids(),
-        private_node_ids=scenario.live_private_ids(),
-    )
-    metrics["public_bps"] = report.public_bytes_per_second
-    metrics["private_bps"] = report.private_bytes_per_second
-    metrics["all_bps"] = report.all_bytes_per_second
+    return run_probes(scenario, context=context, probes=probes)

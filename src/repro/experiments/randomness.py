@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.constants import DEFAULT_PUBLIC_RATIO
 from repro.errors import ExperimentError
+from repro.experiments.matrix import CellContext, measure_cell, register_scenario
 from repro.experiments.report import histogram_table, time_series_table
 from repro.metrics.collector import TimeSeries
 from repro.metrics.graph import (
@@ -29,10 +30,59 @@ from repro.metrics.graph import (
     degree_statistics,
     in_degree_distribution,
 )
+from repro.metrics.payload import MetricPayload
 from repro.workload.scenario import Scenario, ScenarioConfig
 
 #: Protocols compared in Figure 6, in the paper's order.
 PAPER_PROTOCOLS = ("croupier", "gozar", "nylon", "cyclon")
+
+
+def run_randomness_cell(ctx: CellContext) -> MetricPayload:
+    """One Figure 6 matrix cell: run the protocol, sample randomness metrics over time.
+
+    The payload carries the final ``in_degree`` histogram (Figure 6a, via the standard
+    graph probe) plus ``path_length`` and ``clustering`` series sampled every
+    ``measure_every_rounds`` rounds (Figures 6b/6c). Protocols registered as NAT-free
+    baselines (Cyclon) run over public nodes only, as in the paper.
+    """
+    cell = ctx.cell
+    scenario = Scenario(ctx.scenario_config())
+    if scenario.plugin.nat_free_baseline:
+        scenario.populate(n_public=cell.size, n_private=0)
+    else:
+        scenario.populate(n_public=ctx.n_public, n_private=ctx.n_private)
+
+    measure_every = int(cell.param("measure_every_rounds", 10))
+    sources = int(cell.param("path_length_sources", 30))
+    series_rng = scenario.sim.derive_rng("randomness-series")
+    path_points = []
+    clustering_points = []
+    executed = 0
+    while executed < cell.rounds:
+        step = min(measure_every, cell.rounds - executed)
+        scenario.run_rounds(step)
+        executed += step
+        graph = build_overlay_graph(scenario.overlay_graph())
+        path = average_path_length(graph, sample_sources=sources, rng=series_rng)
+        clustering = average_clustering_coefficient(graph)
+        if path is not None:
+            path_points.append((scenario.now, path))
+        if clustering is not None:
+            clustering_points.append((scenario.now, clustering))
+
+    payload = measure_cell(scenario, path_length_sources=sources)
+    payload.set_series("path_length", path_points)
+    payload.set_series("clustering", clustering_points)
+    return payload
+
+
+register_scenario(
+    "randomness",
+    run_randomness_cell,
+    description="overlay randomness over time: in-degree histogram plus path-length "
+    "and clustering series (Figure 6; Cyclon runs public-only)",
+    default_params={"measure_every_rounds": 10},
+)
 
 
 @dataclass

@@ -7,6 +7,7 @@ a terminal (EXPERIMENTS.md contains the archived outputs).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.metrics.collector import TimeSeries
@@ -166,6 +167,7 @@ def matrix_markdown_summary(aggregate: Mapping) -> str:
         "| group | cells | " + " | ".join(label for _, label in headline) + " |",
         "|" + "---|" * (2 + len(headline)),
     ]
+    group_histograms = aggregate.get("group_histograms", {})
     for group_name, metrics in groups.items():
         count = 0
         for summary in metrics.values():
@@ -175,6 +177,14 @@ def matrix_markdown_summary(aggregate: Mapping) -> str:
             summary = metrics.get(metric)
             row.append(_fmt(summary["mean"]) if summary else "-")
         lines.append("| " + " | ".join(row) + " |")
+
+    if group_histograms:
+        lines.extend(["", "## Histogram payloads (merged across seeds)", ""])
+        for group_name, histograms in group_histograms.items():
+            for name, histogram in histograms.items():
+                bins = len(histogram)
+                total = sum(histogram.values())
+                lines.append(f"- `{group_name}` · `{name}`: {bins} bins, {total} samples")
 
     if failed:
         lines.extend(["", "## Failed cells", ""])
@@ -190,3 +200,181 @@ def comparison_rows(values: Dict[str, Dict[str, float]]) -> List[List[object]]:
     for label in values:
         rows.append([label] + [values[label].get(column) for column in columns])
     return rows
+
+
+# ------------------------------------------------------------------ aggregate diffing
+
+#: Metrics where a higher value in the new aggregate is a regression (error, cost and
+#: stretch metrics — everything the paper wants small).
+LOWER_IS_BETTER = frozenset(
+    {
+        "est_err_avg_final",
+        "est_err_max_final",
+        "est_err_avg_p50",
+        "est_err_avg_p90",
+        "path_length",
+        "clustering",
+        "indeg_stddev",
+        "indeg_max",
+        "public_bps",
+        "private_bps",
+        "all_bps",
+    }
+)
+
+#: Metrics where a lower value in the new aggregate is a regression (connectivity and
+#: survival — everything the paper wants large).
+HIGHER_IS_BETTER = frozenset({"biggest_cluster_fraction", "live_nodes", "survivors"})
+
+
+@dataclass
+class MetricChange:
+    """One per-group metric whose mean moved beyond the diff tolerance."""
+
+    group: str
+    metric: str
+    old_mean: float
+    new_mean: float
+    rel_change: float  # signed, relative to max(|old|, |new|)
+
+    @property
+    def direction(self) -> str:
+        """``"worse"``/``"better"`` for oriented metrics, ``"changed"`` otherwise."""
+        higher = self.new_mean > self.old_mean
+        if self.metric in LOWER_IS_BETTER:
+            return "worse" if higher else "better"
+        if self.metric in HIGHER_IS_BETTER:
+            return "better" if higher else "worse"
+        return "changed"
+
+
+@dataclass
+class AggregateDiff:
+    """The comparison of two matrix aggregates (``repro report --diff OLD NEW``)."""
+
+    tolerance: float
+    changes: List[MetricChange] = dataclass_field(default_factory=list)
+    missing_groups: List[str] = dataclass_field(default_factory=list)
+    added_groups: List[str] = dataclass_field(default_factory=list)
+    #: ``"group/metric"`` entries present in OLD but absent from NEW (shared groups).
+    missing_metrics: List[str] = dataclass_field(default_factory=list)
+    newly_failed_cells: List[str] = dataclass_field(default_factory=list)
+    recovered_cells: List[str] = dataclass_field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricChange]:
+        return [c for c in self.changes if c.direction == "worse"]
+
+    @property
+    def improvements(self) -> List[MetricChange]:
+        return [c for c in self.changes if c.direction == "better"]
+
+    @property
+    def missing_gated_metrics(self) -> List[str]:
+        """Disappeared metrics that the gate actually watches (oriented ones) — a
+        vanished error metric must fail the gate, not slip past the intersection."""
+        return [
+            entry
+            for entry in self.missing_metrics
+            if entry.rsplit("/", 1)[-1] in LOWER_IS_BETTER | HIGHER_IS_BETTER
+        ]
+
+    @property
+    def has_regressions(self) -> bool:
+        """Metric regressions, disappeared groups, disappeared gated metrics or newly
+        failing cells all count."""
+        return bool(
+            self.regressions
+            or self.missing_groups
+            or self.missing_gated_metrics
+            or self.newly_failed_cells
+        )
+
+    def to_text(self) -> str:
+        lines = [
+            f"aggregate diff (tolerance: {self.tolerance:.1%} relative change of group means)"
+        ]
+        if not (self.changes or self.missing_groups or self.added_groups
+                or self.missing_metrics or self.newly_failed_cells
+                or self.recovered_cells):
+            lines.append("no differences beyond tolerance")
+            return "\n".join(lines)
+        if self.changes:
+            rows = [
+                [c.direction, c.group, c.metric, c.old_mean, c.new_mean,
+                 f"{c.rel_change:+.1%}"]
+                for c in sorted(
+                    self.changes,
+                    key=lambda c: (c.direction != "worse", c.group, c.metric),
+                )
+            ]
+            lines.append(
+                format_table(
+                    ["verdict", "group", "metric", "old mean", "new mean", "change"],
+                    rows,
+                )
+            )
+        for label, keys in (
+            ("groups only in OLD", self.missing_groups),
+            ("groups only in NEW", self.added_groups),
+            ("metrics missing from NEW (gated ones regress)", self.missing_metrics),
+            ("cells newly failing in NEW", self.newly_failed_cells),
+            ("cells recovered in NEW", self.recovered_cells),
+        ):
+            if keys:
+                lines.append(f"{label}:")
+                lines.extend(f"  - {key}" for key in keys)
+        lines.append(
+            f"summary: {len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s), "
+            f"{len(self.changes) - len(self.regressions) - len(self.improvements)} "
+            f"neutral change(s)"
+        )
+        return "\n".join(lines)
+
+
+def diff_aggregates(old: Mapping, new: Mapping, tolerance: float = 0.05) -> AggregateDiff:
+    """Compare two matrix aggregates group by group, metric by metric.
+
+    A metric *changed* when the relative difference of its group means exceeds
+    ``tolerance`` (relative to the larger magnitude, with a 1e-9 absolute floor so
+    exactly-zero error metrics don't flag on noise-free reruns). Whether a change is a
+    *regression* follows the metric's orientation (:data:`LOWER_IS_BETTER` /
+    :data:`HIGHER_IS_BETTER`); unoriented metrics are reported but never gate.
+    Diffing an aggregate against itself reports nothing and never regresses — CI
+    exercises exactly that invariant.
+    """
+    old_groups = old.get("groups", {})
+    new_groups = new.get("groups", {})
+    diff = AggregateDiff(tolerance=tolerance)
+    diff.missing_groups = sorted(set(old_groups) - set(new_groups))
+    diff.added_groups = sorted(set(new_groups) - set(old_groups))
+
+    for group in sorted(set(old_groups) & set(new_groups)):
+        old_metrics = old_groups[group]
+        new_metrics = new_groups[group]
+        diff.missing_metrics.extend(
+            f"{group}/{metric}" for metric in sorted(set(old_metrics) - set(new_metrics))
+        )
+        for metric in sorted(set(old_metrics) & set(new_metrics)):
+            old_mean = float(old_metrics[metric]["mean"])
+            new_mean = float(new_metrics[metric]["mean"])
+            delta = new_mean - old_mean
+            scale = max(abs(old_mean), abs(new_mean))
+            if abs(delta) <= 1e-9 or scale == 0.0 or abs(delta) <= tolerance * scale:
+                continue
+            diff.changes.append(
+                MetricChange(
+                    group=group,
+                    metric=metric,
+                    old_mean=old_mean,
+                    new_mean=new_mean,
+                    rel_change=delta / scale,
+                )
+            )
+
+    old_failed = set(old.get("failed", []))
+    new_failed = set(new.get("failed", []))
+    diff.newly_failed_cells = sorted(new_failed - old_failed)
+    diff.recovered_cells = sorted(old_failed - new_failed)
+    return diff

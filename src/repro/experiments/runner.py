@@ -27,22 +27,38 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ExperimentError
-from repro.experiments.matrix import CellSpec, MatrixSpec, derive_cell_seed, run_cell
+from repro.experiments.matrix import (
+    DEFAULT_LOSS_RATE,
+    DEFAULT_NAT_PROFILE,
+    CellSpec,
+    MatrixSpec,
+    derive_cell_seed,
+    run_cell,
+)
+from repro.metrics.payload import MetricPayload
 
 #: Schema tag written into every aggregate, so downstream tooling can detect drift.
-AGGREGATE_SCHEMA = "repro-matrix-aggregate-v1"
+#: v2 added the typed payload sections (per-cell ``histograms``/``series`` and the
+#: per-group ``group_histograms``) plus the ``nat_profiles``/``loss_rates`` axes.
+AGGREGATE_SCHEMA = "repro-matrix-aggregate-v2"
 
 
 @dataclass
 class CellResult:
-    """Outcome of one executed cell: metrics on success, a traceback string on failure."""
+    """Outcome of one executed cell: a metric payload on success, a traceback string
+    on failure."""
 
     cell: CellSpec
     seed: int
     status: str  # "ok" | "failed"
-    metrics: Dict[str, float] = field(default_factory=dict)
+    payload: MetricPayload = field(default_factory=MetricPayload)
     error: Optional[str] = None
     duration_s: float = 0.0  # wall clock; informational only, never aggregated
+
+    @property
+    def metrics(self) -> Dict[str, float]:
+        """The payload's scalar metrics (what the CSV and group summaries consume)."""
+        return self.payload.scalars
 
     @property
     def key(self) -> str:
@@ -86,7 +102,7 @@ def _execute_cell(payload: Tuple[CellSpec, int, str]) -> CellResult:
     seed = derive_cell_seed(root_seed, cell.key)
     started = time.perf_counter()
     try:
-        metrics = run_cell(cell, root_seed=root_seed, latency=latency)
+        payload = run_cell(cell, root_seed=root_seed, latency=latency)
     except Exception:
         return CellResult(
             cell=cell,
@@ -99,7 +115,7 @@ def _execute_cell(payload: Tuple[CellSpec, int, str]) -> CellResult:
         cell=cell,
         seed=seed,
         status="ok",
-        metrics=metrics,
+        payload=payload,
         duration_s=time.perf_counter() - started,
     )
 
@@ -163,10 +179,18 @@ def run_matrix(
 
 
 def _group_key(cell: CellSpec) -> str:
-    """Cells differing only in seed index aggregate into one group."""
+    """Cells differing only in seed index aggregate into one group.
+
+    As in :attr:`CellSpec.key`, the deployment axes appear only at non-default values
+    so pre-axis group names are unchanged.
+    """
     parts = [f"scenario={cell.scenario}"]
     parts.extend(f"{name}={value}" for name, value in cell.params)
     parts.append(f"protocol={cell.protocol}")
+    if cell.nat_profile != DEFAULT_NAT_PROFILE:
+        parts.append(f"nat_profile={cell.nat_profile}")
+    if cell.loss_rate != DEFAULT_LOSS_RATE:
+        parts.append(f"loss_rate={cell.loss_rate:g}")
     parts.append(f"size={cell.size}")
     return ";".join(parts)
 
@@ -175,22 +199,46 @@ def build_aggregate(spec: MatrixSpec, results: List[CellResult]) -> Dict:
     """The canonical aggregate structure (see :data:`AGGREGATE_SCHEMA`).
 
     Contains only deterministic values — no wall-clock times, hostnames or dates — so
-    that re-running the same spec reproduces the same bytes.
+    that re-running the same spec reproduces the same bytes. Scalar metrics are
+    summarised per group and overall; histograms are merged bin-wise per group into
+    ``group_histograms`` (e.g. the combined in-degree distribution across seeds);
+    series stay per-cell.
     """
-    from repro.metrics.collector import aggregate_groups, aggregate_metrics
+    from repro.metrics.collector import (
+        aggregate_group_histograms,
+        aggregate_groups,
+        aggregate_metrics,
+    )
 
     cells_section = {}
     grouped: Dict[str, List[Dict[str, float]]] = {}
+    grouped_histograms: Dict[str, List[Dict[str, Dict[int, int]]]] = {}
     ok_rows: List[Dict[str, float]] = []
     for result in results:
         entry: Dict[str, object] = {"seed": result.seed, "status": result.status}
         if result.ok:
-            entry["metrics"] = result.metrics
+            payload_json = result.payload.to_json_dict()
+            entry["metrics"] = payload_json["scalars"]
+            if payload_json["histograms"]:
+                entry["histograms"] = payload_json["histograms"]
+            if payload_json["series"]:
+                entry["series"] = payload_json["series"]
             grouped.setdefault(_group_key(result.cell), []).append(result.metrics)
+            grouped_histograms.setdefault(_group_key(result.cell), []).append(
+                result.payload.histograms
+            )
             ok_rows.append(result.metrics)
         else:
             entry["error"] = result.error
         cells_section[result.key] = entry
+
+    group_histograms = {
+        group: {
+            name: {str(bin_): count for bin_, count in histogram.items()}
+            for name, histogram in histograms.items()
+        }
+        for group, histograms in aggregate_group_histograms(grouped_histograms).items()
+    }
 
     return {
         "schema": AGGREGATE_SCHEMA,
@@ -204,9 +252,12 @@ def build_aggregate(spec: MatrixSpec, results: List[CellResult]) -> Dict:
             "root_seed": spec.root_seed,
             "latency": spec.latency,
             "variants": spec.variants,
+            "nat_profiles": list(spec.nat_profiles),
+            "loss_rates": list(spec.loss_rates),
         },
         "cells": cells_section,
         "groups": aggregate_groups(grouped),
+        "group_histograms": group_histograms,
         "overall": aggregate_metrics(ok_rows) if ok_rows else {},
         "failed": sorted(r.key for r in results if not r.ok),
     }

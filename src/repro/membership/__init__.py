@@ -14,20 +14,58 @@ literature the paper builds on (Jelasity et al. [7], Cyclon [6]):
   for all compared protocols).
 * :mod:`~repro.membership.base` — the abstract :class:`PeerSamplingService` component:
   round timer, sample API, and the hooks the metrics collector uses.
+* :mod:`~repro.membership.capabilities` — the capability interfaces
+  (:class:`OverlaySampling`, :class:`RatioEstimating`, :class:`NatAware`) the
+  experiment layers query instead of probing concrete protocol classes.
+* :mod:`~repro.membership.plugin` — the :class:`ProtocolPlugin` registry every
+  protocol module registers into; :class:`~repro.workload.Scenario`, the experiment
+  matrix and the CLI all resolve protocols through it.
 * :mod:`~repro.membership.cyclon`, :mod:`~repro.membership.nylon`,
   :mod:`~repro.membership.gozar`, :mod:`~repro.membership.arrg` — the baseline
   protocols the paper compares against (and ARRG from related work).
 """
 
 from repro.membership.base import PeerSamplingService
+from repro.membership.capabilities import (
+    CAPABILITIES,
+    Capability,
+    NatAware,
+    OverlaySampling,
+    RatioEstimating,
+    capability_name,
+)
 from repro.membership.descriptor import NodeDescriptor
+from repro.membership.plugin import (
+    ProtocolPlugin,
+    all_plugins,
+    get_plugin,
+    load_builtin_plugins,
+    protocol_names,
+    register_protocol,
+    supporting,
+    unregister_protocol,
+)
 from repro.membership.policies import MergePolicy, SelectionPolicy
 from repro.membership.view import PartialView
 
 __all__ = [
+    "CAPABILITIES",
+    "Capability",
     "MergePolicy",
+    "NatAware",
     "NodeDescriptor",
+    "OverlaySampling",
     "PartialView",
     "PeerSamplingService",
+    "ProtocolPlugin",
+    "RatioEstimating",
     "SelectionPolicy",
+    "all_plugins",
+    "capability_name",
+    "get_plugin",
+    "load_builtin_plugins",
+    "protocol_names",
+    "register_protocol",
+    "supporting",
+    "unregister_protocol",
 ]

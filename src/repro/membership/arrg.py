@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.membership.base import PeerSamplingService, PssConfig
 from repro.membership.descriptor import NodeDescriptor
+from repro.membership.plugin import register_protocol
 from repro.membership.view import PartialView
 from repro.net.address import NodeAddress
 from repro.simulator.host import Host
@@ -178,3 +179,12 @@ class Arrg(PeerSamplingService):
 
     def neighbor_addresses(self) -> List[NodeAddress]:
         return [d.address for d in self.view]
+
+
+register_protocol(
+    "arrg",
+    Arrg,
+    ArrgConfig,
+    description="Cyclon-style shuffle with an open-list fallback on failed exchanges; "
+    "keeps NATed overlays connected at the price of sampling bias",
+)

@@ -20,6 +20,7 @@ from repro.constants import (
     PSS_PORT,
 )
 from repro.errors import ConfigurationError
+from repro.membership.capabilities import OverlaySampling
 from repro.membership.descriptor import NodeDescriptor
 from repro.membership.policies import MergePolicy, SelectionPolicy
 from repro.net.address import NodeAddress
@@ -78,8 +79,14 @@ class PssStatistics:
     extra: dict = field(default_factory=dict)
 
 
-class PeerSamplingService(Component):
-    """Base component for Croupier, Cyclon, Nylon, Gozar and ARRG."""
+class PeerSamplingService(Component, OverlaySampling):
+    """Base component for Croupier, Cyclon, Nylon, Gozar and ARRG.
+
+    Implements the :class:`~repro.membership.capabilities.OverlaySampling` capability;
+    subclasses advertise further capabilities (ratio estimation, NAT awareness) by
+    inheriting the corresponding ABCs and register themselves as a
+    :class:`~repro.membership.plugin.ProtocolPlugin`.
+    """
 
     def __init__(
         self,

@@ -1,0 +1,97 @@
+"""Capability interfaces for peer-sampling protocols.
+
+The paper compares five protocols (Croupier, Gozar, Nylon, Cyclon, ARRG) on identical
+NATed deployments, but the protocols do not expose identical features: only Croupier
+estimates the public/private ratio, only the NAT-aware protocols distinguish node
+classes, and so on. Instead of probing concrete classes (``isinstance(pss, Croupier)``)
+the experiment layers query these small abstract interfaces — a protocol advertises a
+feature by inheriting the capability, and :class:`~repro.membership.plugin.ProtocolPlugin`
+derives the capability set from the component class at registration time.
+
+Adding a cross-cutting feature is therefore a new capability class plus an inheritance
+edge per supporting protocol; no ``Scenario`` or collector edit enumerates protocols.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Tuple, Type
+
+from repro.net.address import NodeAddress
+
+
+class Capability(abc.ABC):
+    """Marker base for protocol capabilities (every capability subclasses this)."""
+
+    __slots__ = ()
+
+
+class OverlaySampling(Capability):
+    """The core peer-sampling contract: random samples and a neighbour set.
+
+    Every registered protocol provides this; it is what the overlay-graph metrics
+    (in-degree distribution, path length, clustering) are measured through.
+    """
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def sample(self) -> Optional[NodeAddress]:
+        """One node drawn (approximately) uniformly at random, or ``None`` if unknown."""
+
+    @abc.abstractmethod
+    def sample_many(self, count: int) -> List[NodeAddress]:
+        """``count`` independent samples (duplicates possible, as in a true PSS)."""
+
+    @abc.abstractmethod
+    def neighbor_addresses(self) -> List[NodeAddress]:
+        """Every node currently referenced by this node's view(s)."""
+
+
+class RatioEstimating(Capability):
+    """Estimates the global public/private node ratio ω (Croupier's defining feature).
+
+    The estimation collectors sample :meth:`estimated_ratio` once per round from every
+    live service advertising this capability; ``current_round`` gates the paper's
+    "exclude nodes until they have executed 2 rounds" rule.
+    """
+
+    __slots__ = ()
+
+    #: Rounds executed so far; concrete services maintain this as a plain attribute.
+    current_round: int
+
+    @abc.abstractmethod
+    def estimated_ratio(self) -> Optional[float]:
+        """This node's current estimate of ω, or ``None`` before any information."""
+
+
+class NatAware(Capability):
+    """Distinguishes public from private peers in its view exchange.
+
+    Croupier (separate public/private views), Gozar (relay parents) and Nylon
+    (rendezvous chains) are NAT-aware; Cyclon and ARRG treat every peer alike, which is
+    precisely why the paper uses them as baselines on NAT-free (or NAT-degraded)
+    deployments.
+    """
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def private_peer_strategy(self) -> str:
+        """How this protocol reaches private peers: ``"croupier-indirection"``,
+        ``"relay"`` (Gozar) or ``"hole-punching"`` (Nylon)."""
+
+
+#: Every known capability, in a stable documentation order.
+CAPABILITIES: Tuple[Type[Capability], ...] = (OverlaySampling, RatioEstimating, NatAware)
+
+
+def capability_name(capability: Type[Capability]) -> str:
+    """The user-facing name of a capability (used in errors and reports)."""
+    return capability.__name__
+
+
+def capabilities_of(component_cls: type) -> frozenset:
+    """The set of capability classes a component class implements."""
+    return frozenset(cap for cap in CAPABILITIES if issubclass(component_cls, cap))

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.membership.base import PeerSamplingService, PssConfig
 from repro.membership.descriptor import NodeDescriptor
+from repro.membership.plugin import register_protocol
 from repro.membership.policies import MergePolicy, SelectionPolicy, merge_views, select_partner
 from repro.membership.view import PartialView
 from repro.net.address import NodeAddress
@@ -130,3 +131,13 @@ class Cyclon(PeerSamplingService):
 
     def neighbor_addresses(self) -> List[NodeAddress]:
         return [d.address for d in self.view]
+
+
+register_protocol(
+    "cyclon",
+    Cyclon,
+    PssConfig,
+    description="classic enhanced shuffle (tail selection, swapper merge); the paper's "
+    "NAT-oblivious true-randomness baseline, run over public nodes only",
+    nat_free_baseline=True,
+)

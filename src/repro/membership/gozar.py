@@ -16,7 +16,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.membership.base import PeerSamplingService, PssConfig
+from repro.membership.capabilities import NatAware
 from repro.membership.descriptor import NodeDescriptor
+from repro.membership.plugin import register_protocol
 from repro.membership.view import PartialView
 from repro.nat.traversal import (
     KeepAlive,
@@ -70,7 +72,7 @@ class GozarConfig(PssConfig):
     parent_timeout_rounds: int = 20
 
 
-class Gozar(PeerSamplingService):
+class Gozar(PeerSamplingService, NatAware):
     """Single-view NAT-aware peer sampling using one-hop relaying via parents."""
 
     def __init__(self, host: Host, config: Optional[GozarConfig] = None) -> None:
@@ -294,7 +296,19 @@ class Gozar(PeerSamplingService):
 
     # ------------------------------------------------------------------ introspection
 
+    def private_peer_strategy(self) -> str:
+        return "relay"
+
     @property
     def registered_children(self) -> int:
         """How many private nodes use this (public) node as a relay parent."""
         return len(self._children)
+
+
+register_protocol(
+    "gozar",
+    Gozar,
+    GozarConfig,
+    description="one-hop distributed relaying: private nodes cache public relay "
+    "parents in their descriptors, shuffles to them go through one relay hop",
+)

@@ -24,7 +24,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.membership.base import PeerSamplingService, PssConfig
+from repro.membership.capabilities import NatAware
 from repro.membership.descriptor import NodeDescriptor
+from repro.membership.plugin import register_protocol
 from repro.membership.view import PartialView
 from repro.nat.traversal import HolePunchPing, HolePunchRequest, KeepAlive, KeepAliveAck
 from repro.net.address import NodeAddress
@@ -73,7 +75,7 @@ class NylonConfig(PssConfig):
     keepalive_fanout: int = 20
 
 
-class Nylon(PeerSamplingService):
+class Nylon(PeerSamplingService, NatAware):
     """Single-view NAT-aware peer sampling using RVP chains and hole punching."""
 
     def __init__(self, host: Host, config: Optional[NylonConfig] = None) -> None:
@@ -287,3 +289,15 @@ class Nylon(PeerSamplingService):
 
     def neighbor_addresses(self) -> List[NodeAddress]:
         return [d.address for d in self.view]
+
+    def private_peer_strategy(self) -> str:
+        return "hole-punching"
+
+
+register_protocol(
+    "nylon",
+    Nylon,
+    NylonConfig,
+    description="rendezvous-chain routing: shuffles to private nodes are hole-punched "
+    "via the neighbour each descriptor was learned from (unbounded chains)",
+)

@@ -11,11 +11,27 @@ the simulation-side equivalent of the paper's evaluation scripts.
 * :mod:`~repro.metrics.overhead` — average per-node traffic load by NAT class
   (Figure 7a).
 * :mod:`~repro.metrics.collector` — small time-series containers shared by the
-  experiment harnesses.
+  experiment harnesses, plus the deterministic aggregation the matrix runner uses.
+* :mod:`~repro.metrics.payload` — the typed per-cell :class:`MetricPayload`
+  (scalars + named histograms + named series, JSON-round-trippable).
+* :mod:`~repro.metrics.probes` — pluggable capability-gated :class:`MetricProbe`
+  objects that produce the payloads.
 """
 
 from repro.metrics.collector import TimeSeries
 from repro.metrics.estimation import EstimationErrorSample, EstimationErrorSeries
+from repro.metrics.payload import MetricPayload, histogram_statistics, merge_histograms
+from repro.metrics.probes import (
+    CoreProbe,
+    EstimationProbe,
+    GraphProbe,
+    MetricProbe,
+    OverheadProbe,
+    ProbeContext,
+    collect_ratio_estimates,
+    default_probes,
+    run_probes,
+)
 from repro.metrics.graph import (
     average_clustering_coefficient,
     average_path_length,
@@ -26,15 +42,27 @@ from repro.metrics.overhead import OverheadReport, measure_overhead
 from repro.metrics.partition import connected_components, largest_cluster_fraction
 
 __all__ = [
+    "CoreProbe",
     "EstimationErrorSample",
     "EstimationErrorSeries",
+    "EstimationProbe",
+    "GraphProbe",
+    "MetricPayload",
+    "MetricProbe",
+    "OverheadProbe",
     "OverheadReport",
+    "ProbeContext",
     "TimeSeries",
     "average_clustering_coefficient",
     "average_path_length",
+    "collect_ratio_estimates",
     "connected_components",
+    "default_probes",
+    "histogram_statistics",
     "in_degree_distribution",
     "in_degrees",
     "largest_cluster_fraction",
     "measure_overhead",
+    "merge_histograms",
+    "run_probes",
 ]

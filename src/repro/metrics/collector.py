@@ -126,3 +126,29 @@ def aggregate_groups(
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Apply :func:`aggregate_metrics` to every named group of metric rows."""
     return {name: aggregate_metrics(rows) for name, rows in sorted(grouped_rows.items())}
+
+
+def aggregate_group_histograms(
+    grouped_histograms: Mapping[str, Sequence[Mapping[str, Mapping[int, int]]]],
+) -> Dict[str, Dict[str, Dict[int, int]]]:
+    """Merge per-cell histogram dicts group by group (bin-wise sums across seeds).
+
+    Input shape: ``{group: [cell_histograms, ...]}`` where each ``cell_histograms`` is
+    the ``{name: {bin: count}}`` mapping of one cell's
+    :class:`~repro.metrics.payload.MetricPayload`. Output keeps only groups that
+    recorded at least one histogram.
+    """
+    from repro.metrics.payload import merge_histograms
+
+    merged: Dict[str, Dict[str, Dict[int, int]]] = {}
+    for group, cell_histograms in sorted(grouped_histograms.items()):
+        names = sorted({name for histograms in cell_histograms for name in histograms})
+        if not names:
+            continue
+        merged[group] = {
+            name: merge_histograms(
+                [histograms[name] for histograms in cell_histograms if name in histograms]
+            )
+            for name in names
+        }
+    return merged

@@ -1,0 +1,238 @@
+"""Pluggable per-cell metric probes.
+
+A :class:`MetricProbe` measures one family of quantities on a finished (or running)
+scenario and records them into a :class:`~repro.metrics.payload.MetricPayload`. Probes
+declare the :mod:`~repro.membership.capabilities` they need; the matrix layer runs each
+probe only against protocols that advertise those capabilities, which is how e.g. the
+estimation-error metrics exist for Croupier cells but not Cyclon cells — without any
+``isinstance`` probing of concrete protocol classes.
+
+The built-in set (:func:`default_probes`) covers what the paper's figures plot:
+
+* :class:`CoreProbe` — population, ground-truth ratio, fidelity counters;
+* :class:`EstimationProbe` — ω̂ estimation error statistics and the error series
+  (requires :class:`~repro.membership.capabilities.RatioEstimating`);
+* :class:`GraphProbe` — in-degree distribution (histogram + statistics), average path
+  length, clustering coefficient, biggest-cluster fraction (Figures 6 and 7b);
+* :class:`OverheadProbe` — per-class traffic load over a measurement window
+  (Figure 7a).
+
+Custom probes are ordinary objects: subclass :class:`MetricProbe`, pass them to
+``measure_cell(..., probes=...)`` or into a registered scenario kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Type
+
+from repro.membership.capabilities import (
+    Capability,
+    OverlaySampling,
+    RatioEstimating,
+    capability_name,
+)
+from repro.metrics.payload import MetricPayload
+
+
+def collect_ratio_estimates(scenario, min_rounds: int = 2) -> List[Optional[float]]:
+    """Every live ratio-estimating node's current estimate (protocol-agnostic).
+
+    Nodes that have executed fewer than ``min_rounds`` rounds are excluded, exactly as
+    in the paper ("evaluation metrics for new nodes ... are not included until they
+    have executed 2 rounds"). Returns ``[]`` when the scenario's protocol does not
+    estimate ratios — callers that consider that an error should go through the
+    :class:`~repro.workload.Scenario` capability API instead.
+    """
+    return [
+        service.estimated_ratio()
+        for service in scenario.services_with(RatioEstimating)
+        if service.current_round >= min_rounds
+    ]
+
+
+@dataclass
+class ProbeContext:
+    """Cross-probe inputs the cell runner gathered while driving the scenario."""
+
+    #: Estimation-error series recorded round by round (estimating protocols only).
+    error_series: Optional[object] = None
+    #: Traffic snapshot taken at the start of the overhead measurement window.
+    overhead_window: Optional[object] = None
+    #: Label for the metrics RNG derivation (path-length source sampling).
+    rng_label: str = "matrix-metrics"
+    #: BFS sources used to estimate the average path length.
+    path_length_sources: int = 30
+    #: Percentiles reported for the per-cell estimation-error series.
+    series_percentiles: Tuple[Tuple[int, str], ...] = ((50, "p50"), (90, "p90"))
+
+
+class MetricProbe:
+    """One pluggable measurement; subclasses set ``name``/``requires`` and implement
+    :meth:`measure`."""
+
+    #: Identifier used in docs and error messages.
+    name: str = "probe"
+    #: Capability classes the scenario's protocol must advertise for this probe to run.
+    requires: Tuple[Type[Capability], ...] = ()
+
+    def supported_by(self, plugin) -> bool:
+        return all(plugin.supports(capability) for capability in self.requires)
+
+    def missing_capabilities(self, plugin) -> List[str]:
+        return [
+            capability_name(capability)
+            for capability in self.requires
+            if not plugin.supports(capability)
+        ]
+
+    def measure(self, scenario, payload: MetricPayload, context: ProbeContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        needs = ", ".join(capability_name(c) for c in self.requires) or "nothing"
+        return f"{type(self).__name__}(name={self.name}, requires={needs})"
+
+
+class CoreProbe(MetricProbe):
+    """Population size, ground-truth ratio and simulator fidelity counters."""
+
+    name = "core"
+
+    def measure(self, scenario, payload: MetricPayload, context: ProbeContext) -> None:
+        payload.set_scalar("live_nodes", float(scenario.live_count()))
+        payload.set_scalar("true_ratio", scenario.true_ratio())
+        payload.set_scalar("events_executed", float(scenario.sim.events_executed))
+        payload.set_scalar("packets_sent", float(scenario.network.packets_sent))
+
+
+class EstimationProbe(MetricProbe):
+    """ω̂ estimation error: current mean estimate plus error-series statistics.
+
+    The scalar names match the pre-payload aggregates (``est_mean``,
+    ``est_err_avg_final``, ``est_err_max_final``, ``est_err_avg_p50/p90``); the full
+    average-error trajectory additionally lands in the payload as the
+    ``est_err_avg`` series.
+    """
+
+    name = "estimation"
+    requires = (RatioEstimating,)
+
+    def measure(self, scenario, payload: MetricPayload, context: ProbeContext) -> None:
+        from repro.metrics.collector import percentile
+
+        estimates = [e for e in collect_ratio_estimates(scenario) if e is not None]
+        if estimates:
+            payload.set_scalar("est_mean", sum(estimates) / len(estimates))
+        series = context.error_series
+        if series is None or not len(series):
+            return
+        avg_series = series.avg_error_series()
+        final_avg = series.final_avg_error()
+        final_max = series.final_max_error()
+        if final_avg is not None:
+            payload.set_scalar("est_err_avg_final", final_avg)
+        if final_max is not None:
+            payload.set_scalar("est_err_max_final", final_max)
+        for q, label in context.series_percentiles:
+            if avg_series:
+                payload.set_scalar(f"est_err_avg_{label}", percentile(avg_series, q))
+        payload.set_series(
+            "est_err_avg",
+            [
+                (sample.time_ms, sample.avg_error)
+                for sample in series.samples
+                if sample.avg_error is not None
+            ],
+        )
+
+
+class GraphProbe(MetricProbe):
+    """Overlay randomness (Figure 6) and connectivity (Figure 7b) metrics.
+
+    Records the in-degree distribution both as summary scalars and as the
+    ``in_degree`` histogram — the series the paper's Figure 6(a) plots.
+    """
+
+    name = "graph"
+    requires = (OverlaySampling,)
+
+    def measure(self, scenario, payload: MetricPayload, context: ProbeContext) -> None:
+        from repro.metrics.graph import (
+            average_clustering_coefficient,
+            average_path_length,
+            build_overlay_graph,
+            degree_statistics,
+            in_degree_distribution,
+        )
+        from repro.metrics.partition import largest_cluster_fraction
+
+        graph = build_overlay_graph(scenario.overlay_graph())
+        if not graph:
+            return
+        stats = degree_statistics(graph)
+        payload.set_scalar("indeg_mean", stats["mean"])
+        payload.set_scalar("indeg_stddev", stats["stddev"])
+        payload.set_scalar("indeg_max", stats["max"])
+        payload.set_scalar("biggest_cluster_fraction", largest_cluster_fraction(graph))
+        payload.set_histogram("in_degree", in_degree_distribution(graph))
+        metrics_rng = scenario.sim.derive_rng(context.rng_label)
+        path = average_path_length(
+            graph, sample_sources=context.path_length_sources, rng=metrics_rng
+        )
+        clustering = average_clustering_coefficient(graph)
+        if path is not None:
+            payload.set_scalar("path_length", path)
+        if clustering is not None:
+            payload.set_scalar("clustering", clustering)
+
+
+class OverheadProbe(MetricProbe):
+    """Figure 7(a) per-class load over the measurement window the runner opened."""
+
+    name = "overhead"
+
+    def measure(self, scenario, payload: MetricPayload, context: ProbeContext) -> None:
+        from repro.metrics.overhead import measure_overhead
+
+        window_start = context.overhead_window
+        if window_start is None or scenario.now <= window_start.time_ms:
+            return
+        report = measure_overhead(
+            protocol=scenario.config.protocol,
+            monitor=scenario.monitor,
+            window_start=window_start,
+            now_ms=scenario.now,
+            public_node_ids=scenario.live_public_ids(),
+            private_node_ids=scenario.live_private_ids(),
+        )
+        payload.set_scalar("public_bps", report.public_bytes_per_second)
+        payload.set_scalar("private_bps", report.private_bytes_per_second)
+        payload.set_scalar("all_bps", report.all_bytes_per_second)
+
+
+def default_probes() -> Tuple[MetricProbe, ...]:
+    """The standard probe set every matrix cell runs (capability-gated per protocol)."""
+    return (CoreProbe(), EstimationProbe(), GraphProbe(), OverheadProbe())
+
+
+def run_probes(
+    scenario,
+    context: Optional[ProbeContext] = None,
+    probes: Optional[Sequence[MetricProbe]] = None,
+) -> MetricPayload:
+    """Run every applicable probe against ``scenario`` and return the merged payload.
+
+    Probes whose required capabilities the scenario's protocol does not advertise are
+    skipped (that absence *is* the measurement — e.g. no ω̂ error for Cyclon).
+    """
+    context = context or ProbeContext()
+    payload = MetricPayload()
+    plugin = scenario.plugin
+    for probe in probes if probes is not None else default_probes():
+        if not probe.supported_by(plugin):
+            continue
+        contribution = MetricPayload()
+        probe.measure(scenario, contribution, context)
+        payload.merge(contribution)
+    return payload

@@ -1,19 +1,26 @@
 """The scenario builder: wires simulator, network, NATs, bootstrap and protocol nodes.
 
 A :class:`Scenario` is the in-process equivalent of the paper's Kompics experiment
-set-ups. It owns the simulator and network, creates public and private nodes on demand
-(allocating addresses and NAT boxes), seeds their initial views from the bootstrap
-registry, and exposes the measurements the experiments need: the true public/private
-ratio, every node's ratio estimate, the overlay graph, per-class traffic snapshots, and
-node-failure operations.
+set-ups, and it is **orchestration only**: it owns the simulator and network, creates
+public and private nodes on demand (allocating addresses and NAT boxes), seeds their
+initial views from the bootstrap registry, and runs/kills nodes. The protocol comes
+from the :class:`~repro.membership.plugin.ProtocolPlugin` registry, and protocol
+*features* are reached through capability queries — measurements live in
+:mod:`repro.metrics.probes`, not here.
 
 Example
 -------
+>>> from repro.membership.capabilities import RatioEstimating
 >>> from repro.workload import Scenario, ScenarioConfig
 >>> scenario = Scenario(ScenarioConfig(protocol="croupier", seed=7))
 >>> scenario.populate(n_public=10, n_private=40)
 >>> scenario.run_rounds(30)
 >>> 0.0 < scenario.true_ratio() < 1.0
+True
+>>> scenario.supports(RatioEstimating)
+True
+>>> estimators = scenario.services_with(RatioEstimating)
+>>> len(estimators) == scenario.live_count()
 True
 """
 
@@ -21,18 +28,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Type, Union
 
 from repro.bootstrap.registry import BootstrapRegistry
 from repro.constants import DEFAULT_ROUND_MS
-from repro.core.config import CroupierConfig
-from repro.core.croupier import Croupier
 from repro.errors import ConfigurationError, ExperimentError
-from repro.membership.arrg import Arrg, ArrgConfig
 from repro.membership.base import PeerSamplingService, PssConfig
-from repro.membership.cyclon import Cyclon
-from repro.membership.gozar import Gozar, GozarConfig
-from repro.membership.nylon import Nylon, NylonConfig
+from repro.membership.capabilities import Capability, RatioEstimating
+from repro.membership.plugin import (
+    ProtocolPlugin,
+    all_plugins,
+    get_plugin,
+    protocol_names,
+)
 from repro.nat.nat_box import NatBox
 from repro.nat.types import NatProfile
 from repro.nat.upnp import UpnpNatBox
@@ -47,14 +55,17 @@ from repro.simulator.monitor import TrafficMonitor, TrafficSnapshot
 from repro.simulator.network import Network
 from repro.workload.ipalloc import IpAllocator
 
-#: Registered protocol names and their (component class, default config class).
-PROTOCOLS: Dict[str, tuple] = {
-    "croupier": (Croupier, CroupierConfig),
-    "cyclon": (Cyclon, PssConfig),
-    "nylon": (Nylon, NylonConfig),
-    "gozar": (Gozar, GozarConfig),
-    "arrg": (Arrg, ArrgConfig),
-}
+
+def _protocols_compat() -> Dict[str, tuple]:
+    """Deprecated view of the plugin registry; use :mod:`repro.membership.plugin`."""
+    return {p.name: (p.factory, p.config_cls) for p in all_plugins()}
+
+
+#: Deprecated (PR 3): registered protocol names and their (component class, default
+#: config class). Kept for one PR as a read-only snapshot of the
+#: :mod:`repro.membership.plugin` registry — new code should call
+#: :func:`repro.membership.plugin.get_plugin` / :func:`~repro.membership.plugin.protocol_names`.
+PROTOCOLS: Dict[str, tuple] = _protocols_compat()
 
 
 @dataclass
@@ -100,9 +111,9 @@ class ScenarioConfig:
     upnp_fraction: float = 0.0
 
     def validate(self) -> None:
-        if self.protocol not in PROTOCOLS:
+        if self.protocol not in protocol_names():
             raise ConfigurationError(
-                f"unknown protocol {self.protocol!r}; expected one of {sorted(PROTOCOLS)}"
+                f"unknown protocol {self.protocol!r}; expected one of {protocol_names()}"
             )
         if not 0.0 <= self.loss_rate <= 1.0:
             raise ConfigurationError(f"loss_rate out of range: {self.loss_rate}")
@@ -150,9 +161,8 @@ class Scenario:
         self.nodes: Dict[int, NodeHandle] = {}
         self.rng = self.sim.derive_rng("scenario")
         self._next_node_id = 1
-        protocol_cls, config_cls = PROTOCOLS[self.config.protocol]
-        self._protocol_cls = protocol_cls
-        self._pss_config = self.config.pss_config or config_cls()
+        self.plugin: ProtocolPlugin = get_plugin(self.config.protocol)
+        self._pss_config = self.config.pss_config or self.plugin.default_config()
         self._pss_config.validate()
 
     # ------------------------------------------------------------------ construction
@@ -279,7 +289,7 @@ class Scenario:
     def _start_pss(
         self, host: Host, natbox: Optional[NatBox], ground_truth_public: bool
     ) -> NodeHandle:
-        pss = self._protocol_cls(host, self._pss_config)
+        pss = self.plugin.create(host, self._pss_config)
         seeds = self.registry.sample(self.bootstrap_seed_size, exclude_id=host.node_id)
         pss.initialize_view(seeds)
         if host.address.is_public:
@@ -369,22 +379,29 @@ class Scenario:
         public = sum(1 for h in live if h.address.is_public)
         return public / len(live)
 
-    def ratio_estimates(self, min_rounds: int = 2) -> List[Optional[float]]:
-        """Every live Croupier node's current ratio estimate.
+    # ------------------------------------------------------------------ capabilities
 
-        Nodes that have executed fewer than ``min_rounds`` rounds are excluded, exactly
-        as in the paper ("evaluation metrics for new nodes ... are not included until
-        they have executed 2 rounds").
+    def supports(self, capability: Type[Capability]) -> bool:
+        """Whether this scenario's protocol advertises ``capability``."""
+        return self.plugin.supports(capability)
+
+    def require(self, capability: Type[Capability], context: str = "") -> None:
+        """Raise :class:`~repro.errors.CapabilityError` unless the protocol advertises
+        ``capability`` (the error names both the capability and ``context``)."""
+        self.plugin.require(capability, context=context)
+
+    def services_with(self, capability: Type[Capability]) -> List[PeerSamplingService]:
+        """Every live service implementing ``capability``, in node-creation order.
+
+        Returns ``[]`` when the protocol does not advertise the capability — the
+        non-raising query the metric probes use. Call :meth:`require` first when the
+        absence is an error.
         """
-        estimates: List[Optional[float]] = []
-        for handle in self.live_handles():
-            pss = handle.pss
-            if not isinstance(pss, Croupier):
-                continue
-            if pss.current_round < min_rounds:
-                continue
-            estimates.append(pss.estimated_ratio())
-        return estimates
+        return [h.pss for h in self.live_handles() if isinstance(h.pss, capability)]
+
+    def handles_with(self, capability: Type[Capability]) -> List[NodeHandle]:
+        """Like :meth:`services_with` but returning the full node handles."""
+        return [h for h in self.live_handles() if isinstance(h.pss, capability)]
 
     def overlay_graph(self) -> Dict[int, set]:
         """Directed adjacency over live nodes (edges to dead nodes are dropped)."""
@@ -454,15 +471,49 @@ class Scenario:
                 replaced += 1
         return replaced
 
-    # ------------------------------------------------------------------ protocol access
+    # ------------------------------------------------------- deprecated protocol access
+    #
+    # PR-3 shims: these pre-plugin accessors survive for exactly one PR. They now
+    # *raise* for protocols lacking the capability instead of silently returning
+    # empty lists (which used to make e.g. a Gozar cell look like a Croupier cell
+    # with zero estimators).
 
-    def croupier_instances(self) -> List[Croupier]:
-        """Every live Croupier component, public and private (empty for other protocols)."""
-        return [h.pss for h in self.live_handles() if isinstance(h.pss, Croupier)]
+    def ratio_estimates(self, min_rounds: int = 2) -> List[Optional[float]]:
+        """Deprecated: every live estimating node's current ratio estimate.
 
-    def croupiers(self) -> List[Croupier]:
-        """The live *public* Croupier components — the nodes that actually act as croupiers."""
+        Use :func:`repro.metrics.probes.collect_ratio_estimates` (non-raising) or
+        ``services_with(RatioEstimating)`` instead. Nodes that have executed fewer
+        than ``min_rounds`` rounds are excluded, exactly as in the paper ("evaluation
+        metrics for new nodes ... are not included until they have executed 2 rounds").
+
+        Raises :class:`~repro.errors.CapabilityError` when the protocol does not
+        estimate ratios.
+        """
+        self.require(RatioEstimating, context="Scenario.ratio_estimates (deprecated)")
+        return [
+            pss.estimated_ratio()
+            for pss in self.services_with(RatioEstimating)
+            if pss.current_round >= min_rounds
+        ]
+
+    def croupier_instances(self) -> List[PeerSamplingService]:
+        """Deprecated: every live ratio-estimating component, public and private.
+
+        Use ``services_with(RatioEstimating)``. Raises
+        :class:`~repro.errors.CapabilityError` for non-estimating protocols.
+        """
+        self.require(RatioEstimating, context="Scenario.croupier_instances (deprecated)")
+        return self.services_with(RatioEstimating)
+
+    def croupiers(self) -> List[PeerSamplingService]:
+        """Deprecated: the live *public* estimating components (the acting croupiers).
+
+        Use ``services_with(RatioEstimating)`` with an ``address.is_public`` filter.
+        Raises :class:`~repro.errors.CapabilityError` for non-estimating protocols.
+        """
         return [pss for pss in self.croupier_instances() if pss.address.is_public]
+
+    # ------------------------------------------------------------------ protocol access
 
     def pss_of(self, node_id: int) -> PeerSamplingService:
         handle = self.nodes.get(node_id)

@@ -178,7 +178,7 @@ class TestAggregation:
         run = run_matrix(small_spec(protocols=("croupier",), seeds=1), workers=1)
         aggregate = build_aggregate(run.spec, run.results)
         assert "wall" not in json.dumps(aggregate)
-        assert aggregate["schema"] == "repro-matrix-aggregate-v1"
+        assert aggregate["schema"] == "repro-matrix-aggregate-v2"
 
     def test_croupier_cells_report_estimation_error_metrics(self):
         run = run_matrix(small_spec(seeds=1), workers=1)
