@@ -33,6 +33,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.core.estimator import RatioEstimate, RatioEstimator  # noqa: E402
 from repro.membership.descriptor import NodeDescriptor  # noqa: E402
 from repro.membership.view import PartialView  # noqa: E402
+from repro.metrics.probes import collect_ratio_estimates  # noqa: E402
 from repro.net.address import Endpoint, NatType, NodeAddress  # noqa: E402
 from repro.simulator.core import Simulator  # noqa: E402
 from repro.workload.scenario import Scenario, ScenarioConfig  # noqa: E402
@@ -168,6 +169,42 @@ def bench_matrix_throughput(workers_list=(1, 2, 4), cells: int = 8) -> dict:
     return results
 
 
+def bench_scenario_reuse(n_public: int = 40, n_private: int = 160,
+                         warmup_rounds: int = 20, seed: int = 3) -> dict:
+    """Cost of branching off a warmed scenario via clone() vs rebuilding it.
+
+    This is the amortisation the failure harness and the matrix reuse cache lean
+    on: one build-and-warm-up, then one clone per destructive treatment. The two
+    paths are asserted to land in identical states before timings are recorded.
+    """
+    started = time.perf_counter()
+    warmed = Scenario(ScenarioConfig(protocol="croupier", seed=seed, latency="constant"))
+    warmed.populate(n_public=n_public, n_private=n_private)
+    warmed.run_rounds(warmup_rounds)
+    build_seconds = time.perf_counter() - started
+
+    clone_seconds = _timeit(warmed.clone)
+    # Fidelity: a clone run forward must land exactly where a fresh same-seed
+    # scenario run for the same total rounds lands.
+    branched = warmed.clone()
+    branched.run_rounds(5)
+    rebuilt = Scenario(ScenarioConfig(protocol="croupier", seed=seed, latency="constant"))
+    rebuilt.populate(n_public=n_public, n_private=n_private)
+    rebuilt.run_rounds(warmup_rounds + 5)
+    if (
+        branched.sim.events_executed != rebuilt.sim.events_executed
+        or branched.network.packets_sent != rebuilt.network.packets_sent
+    ):
+        raise SystemExit("FIDELITY FAILURE: clone continuation diverged from rebuild")
+    return {
+        "n_nodes": n_public + n_private,
+        "warmup_rounds": warmup_rounds,
+        "build_and_warm_seconds": round(build_seconds, 4),
+        "clone_seconds": round(clone_seconds, 4),
+        "clone_speedup": round(build_seconds / clone_seconds, 1),
+    }
+
+
 def bench_scenario(n_public: int, n_private: int, rounds: int, seed: int = 3) -> dict:
     """Time one full Croupier scenario and capture its (deterministic) outputs."""
     started = time.perf_counter()
@@ -175,7 +212,7 @@ def bench_scenario(n_public: int, n_private: int, rounds: int, seed: int = 3) ->
     scenario.populate(n_public=n_public, n_private=n_private)
     scenario.run_rounds(rounds)
     elapsed = time.perf_counter() - started
-    estimates = [e for e in scenario.ratio_estimates() if e is not None]
+    estimates = [e for e in collect_ratio_estimates(scenario) if e is not None]
     return {
         "n_nodes": n_public + n_private,
         "rounds": rounds,
@@ -208,6 +245,7 @@ def main() -> int:
         "python": sys.version.split()[0],
         "micro_seconds": bench_micro(),
         "matrix_throughput": bench_matrix_throughput(),
+        "scenario_reuse": bench_scenario_reuse(),
         "seed_baselines": SEED_BASELINES,
     }
 

@@ -17,6 +17,7 @@ import random
 from repro.core.estimator import RatioEstimate, RatioEstimator
 from repro.membership.descriptor import NodeDescriptor
 from repro.membership.view import PartialView
+from repro.metrics.probes import collect_ratio_estimates
 from repro.net.address import Endpoint, NatType, NodeAddress
 from repro.simulator.core import Simulator
 from repro.workload.scenario import Scenario, ScenarioConfig
@@ -209,7 +210,7 @@ def test_bench_croupier_1000x100_meets_speedup_budget(once):
         scenario.populate(n_public=200, n_private=800)
         scenario.run_rounds(100)
         elapsed = time.perf_counter() - started
-        estimates = [e for e in scenario.ratio_estimates() if e is not None]
+        estimates = [e for e in collect_ratio_estimates(scenario) if e is not None]
         return elapsed, scenario.sim.events_executed, sum(estimates) / len(estimates)
 
     elapsed, events, mean_estimate = once(run)

@@ -1,11 +1,23 @@
 #!/usr/bin/env bash
 # Local mirror of the CI gate (.github/workflows/ci.yml): byte-compile the package,
-# run the tier-1 tests, the <=60s bench smoke, and a mini experiment-matrix whose
-# aggregate must be byte-identical between a 4-worker and a 1-worker run.
+# run the tier-1 tests, the <=60s bench smoke, a mini experiment-matrix whose
+# aggregate must be byte-identical between a 4-worker and a 1-worker run, and a
+# cross-PR regression diff against the committed baseline aggregate.
 #
 #   ./scripts/ci.sh
 #
 # Runs from any checkout without installing the package (uses `python -m repro`).
+#
+# The baseline (artifacts/baseline/matrix_aggregate.json) is committed; it is the
+# exact aggregate the mini-matrix produced when it was last deliberately changed.
+# Regenerate it ONLY for an intentional semantic change, with:
+#
+#   PYTHONPATH=src python -m repro matrix \
+#       --scenarios static --protocols croupier,cyclon --sizes 60 \
+#       --seeds 2 --rounds 10 --latency constant \
+#       --nat-mixtures none,paper --upnp-fractions 0,0.2 \
+#       --workers 1 --out artifacts/baseline
+#   git add -f artifacts/baseline/matrix_aggregate.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,9 +35,10 @@ echo "== bench smoke (perf trajectory) =="
 BENCH_SKIP_TESTS=1 ./scripts/bench_smoke.sh
 
 echo
-echo "== mini-matrix smoke: 4-vs-1 worker parity =="
+echo "== mini-matrix smoke: 4-vs-1 worker parity (incl. NAT-mixture + UPnP cells) =="
 MATRIX_ARGS=(--scenarios static --protocols croupier,cyclon --sizes 60
-             --seeds 2 --rounds 10 --latency constant)
+             --seeds 2 --rounds 10 --latency constant
+             --nat-mixtures none,paper --upnp-fractions 0,0.2)
 python -m repro matrix "${MATRIX_ARGS[@]}" --workers 4 --out artifacts/ci-matrix-w4
 python -m repro matrix "${MATRIX_ARGS[@]}" --workers 1 --out artifacts/ci-matrix-w1
 cmp artifacts/ci-matrix-w4/matrix_aggregate.json \
@@ -33,10 +46,12 @@ cmp artifacts/ci-matrix-w4/matrix_aggregate.json \
 echo "parity OK: 4-worker aggregate is byte-identical to the sequential run"
 
 echo
-echo "== report --diff smoke: aggregate self-comparison must show zero regressions =="
-python -m repro report --diff artifacts/ci-matrix-w4/matrix_aggregate.json \
+echo "== baseline gate: cross-PR diff against the committed aggregate =="
+# Group means (5% tolerance) AND per-group histogram shapes (KS distance 0.1) must
+# not regress relative to the committed baseline; exit 1 fails the gate.
+python -m repro report --diff artifacts/baseline/matrix_aggregate.json \
                               artifacts/ci-matrix-w1/matrix_aggregate.json
-echo "trend gate OK: self-diff reports no regressions"
+echo "baseline gate OK: no regressions vs artifacts/baseline/matrix_aggregate.json"
 
 echo
 echo "CI gate passed."

@@ -144,6 +144,21 @@ def build_parser() -> argparse.ArgumentParser:
         "paper-setup sweep (0,0.01,0.05)",
     )
     matrix.add_argument(
+        "--nat-mixtures",
+        type=_csv_list,
+        default=["none"],
+        help="NAT-mixture axis: comma-separated registered mixture names ('paper' is "
+        "the paper's measured NAT-type distribution) or 'none' for homogeneous "
+        "gateways (the --nat-profiles axis)",
+    )
+    matrix.add_argument(
+        "--upnp-fractions",
+        type=_csv_list,
+        default=["0"],
+        help="UPnP axis: comma-separated fractions of gateways whose NAT supports "
+        "UPnP port mapping, or 'paper' for the paper-setup sweep (0,0.2,0.5)",
+    )
+    matrix.add_argument(
         "--variants",
         choices=("default", "paper", "first"),
         default="default",
@@ -180,6 +195,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="relative change of a group's metric mean tolerated by --diff (default 5%%)",
     )
+    report.add_argument(
+        "--ks-tolerance",
+        type=float,
+        default=0.1,
+        help="Kolmogorov–Smirnov distance tolerated by --diff on per-group "
+        "histograms, e.g. the in-degree distributions (default 0.1)",
+    )
 
     return parser
 
@@ -210,6 +232,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     from repro.experiments.matrix import (
         PAPER_LOSS_RATES,
         PAPER_NAT_PROFILES,
+        PAPER_UPNP_FRACTIONS,
         MatrixSpec,
         SCENARIOS,
     )
@@ -242,6 +265,16 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
                 f"--loss-rates must be comma-separated probabilities or exactly "
                 f"'paper' (got {','.join(args.loss_rates)!r}): {error}"
             ) from None
+    if args.upnp_fractions == ["paper"]:
+        upnp_fractions: List[float] = list(PAPER_UPNP_FRACTIONS)
+    else:
+        try:
+            upnp_fractions = [float(fraction) for fraction in args.upnp_fractions]
+        except ValueError as error:
+            raise ReproError(
+                f"--upnp-fractions must be comma-separated fractions or exactly "
+                f"'paper' (got {','.join(args.upnp_fractions)!r}): {error}"
+            ) from None
     spec = MatrixSpec(
         scenarios=args.scenarios,
         protocols=args.protocols,
@@ -254,6 +287,8 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         variants=args.variants,
         nat_profiles=nat_profiles,
         loss_rates=loss_rates,
+        nat_mixtures=args.nat_mixtures,
+        upnp_fractions=upnp_fractions,
     )
     print(f"matrix: {spec.describe()} (workers={args.workers})")
 
@@ -319,6 +354,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             json.loads(old_path.read_text()),
             json.loads(new_path.read_text()),
             tolerance=args.tolerance,
+            ks_tolerance=args.ks_tolerance,
         )
         text = diff.to_text()
         if args.out is not None:

@@ -36,9 +36,11 @@ from repro.experiments.base import (
     run_estimation_scenario,
 )
 from repro.experiments.matrix import (
+    NAT_MIXTURES,
     NAT_PROFILES,
     PAPER_LOSS_RATES,
     PAPER_NAT_PROFILES,
+    PAPER_UPNP_FRACTIONS,
     CellContext,
     CellSpec,
     MatrixSpec,
@@ -61,9 +63,11 @@ from repro.experiments.ratio_sweep import RatioSweepResult, run_ratio_sweep_expe
 from repro.experiments.system_size import SystemSizeResult, run_system_size_experiment
 
 __all__ = [
+    "NAT_MIXTURES",
     "NAT_PROFILES",
     "PAPER_LOSS_RATES",
     "PAPER_NAT_PROFILES",
+    "PAPER_UPNP_FRACTIONS",
     "CellContext",
     "CellSpec",
     "ChurnExperimentResult",

@@ -208,18 +208,21 @@ def run_estimation_cell(ctx: CellContext) -> MetricPayload:
         gamma = cell.param("gamma", cell.param("croupier_gamma"))
         max_estimates = cell.param("max_estimates")
         if alpha is not None or gamma is not None or max_estimates is not None:
-            pss_config = CroupierConfig(
-                local_history_alpha=int(alpha) if alpha is not None else 25,
-                neighbour_history_gamma=int(gamma) if gamma is not None else 50,
-                max_estimates_per_message=(
-                    int(max_estimates) if max_estimates is not None else 10
+            pss_config = ctx.pss_config_for(
+                ("croupier-config", alpha, gamma, max_estimates),
+                lambda: CroupierConfig(
+                    local_history_alpha=int(alpha) if alpha is not None else 25,
+                    neighbour_history_gamma=int(gamma) if gamma is not None else 50,
+                    max_estimates_per_message=(
+                        int(max_estimates) if max_estimates is not None else 10
+                    ),
                 ),
             )
-    scenario = Scenario(ctx.scenario_config(pss_config=pss_config))
 
     n_public, n_private = ctx.n_public, ctx.n_private
     join_window_ms = cell.param("join_window_ms")
     if join_window_ms:
+        scenario = Scenario(ctx.scenario_config(pss_config=pss_config))
         PoissonJoinProcess(
             scenario,
             public=True,
@@ -234,7 +237,7 @@ def run_estimation_cell(ctx: CellContext) -> MetricPayload:
                 mean_interarrival_ms=float(join_window_ms) / max(1, n_private),
             )
     else:
-        scenario.populate(n_public, n_private)
+        scenario = ctx.populated_scenario(n_public, n_private, pss_config=pss_config)
 
     churn_fraction = float(cell.param("churn_fraction", 0.0))
     if churn_fraction > 0.0:

@@ -27,7 +27,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 from repro.errors import ExperimentError
 from repro.membership.plugin import protocol_names
 from repro.metrics.payload import MetricPayload
-from repro.nat.types import NatProfile
+from repro.nat.mixture import NAT_MIXTURES
+from repro.nat.types import NAMED_PROFILES, NatProfile
 from repro.simulator.core import derive_seed
 
 #: JSON-scalar parameter values a cell may carry (they must round-trip through repr()
@@ -39,25 +40,27 @@ Params = Tuple[Tuple[str, ParamValue], ...]
 #: Label used as the first component of every cell-seed derivation.
 _CELL_SEED_LABEL = "matrix-cell"
 
-#: First-class NAT-profile axis values -> profile factories (see repro.nat.types).
-NAT_PROFILES: Dict[str, Callable[[], NatProfile]] = {
-    "full_cone": NatProfile.full_cone,
-    "restricted_cone": NatProfile.restricted_cone,
-    "port_restricted_cone": NatProfile.port_restricted_cone,
-    "symmetric": NatProfile.symmetric,
-}
+#: First-class NAT-profile axis values -> profile factories (the canonical vocabulary
+#: lives in :data:`repro.nat.types.NAMED_PROFILES`; this alias is the axis view of it).
+NAT_PROFILES: Dict[str, Callable[[], NatProfile]] = dict(NAMED_PROFILES)
 
 #: Axis defaults. Cells at the default value omit the field from their key, so every
 #: pre-axis cell key (and therefore every derived seed and archived aggregate) is
 #: unchanged — the axes are additive.
 DEFAULT_NAT_PROFILE = "restricted_cone"
 DEFAULT_LOSS_RATE = 0.0
+#: ``"none"`` = homogeneous gateways (the ``nat_profile`` axis applies); any other
+#: value names a registered :class:`~repro.nat.mixture.NatMixture`.
+DEFAULT_NAT_MIXTURE = "none"
+DEFAULT_UPNP_FRACTION = 0.0
 
-#: The paper-setup sweep values for the two deployment axes: Section VII runs
+#: The paper-setup sweep values for the deployment axes: Section VII runs
 #: restricted-cone gateways as the base case and calls out the cone spectrum through
-#: symmetric NATs; the loss sweep covers "no loss" to the 5 % uniform loss stress point.
+#: symmetric NATs; the loss sweep covers "no loss" to the 5 % uniform loss stress
+#: point; the UPnP sweep spans "no gateway helps" to half of them mapping ports.
 PAPER_NAT_PROFILES = ("full_cone", "restricted_cone", "port_restricted_cone", "symmetric")
 PAPER_LOSS_RATES = (0.0, 0.01, 0.05)
+PAPER_UPNP_FRACTIONS = (0.0, 0.2, 0.5)
 
 
 # --------------------------------------------------------------------- cell & matrix
@@ -81,15 +84,18 @@ class CellSpec:
     public_ratio: float = 0.2
     nat_profile: str = DEFAULT_NAT_PROFILE
     loss_rate: float = DEFAULT_LOSS_RATE
+    nat_mixture: str = DEFAULT_NAT_MIXTURE
+    upnp_fraction: float = DEFAULT_UPNP_FRACTION
     params: Params = ()
 
     @property
     def key(self) -> str:
         """Stable identifier: a pure function of the cell's content.
 
-        The deployment axes (``nat_profile``, ``loss_rate``) appear only when they
-        differ from the defaults, so cell keys — and the seeds derived from them —
-        from before those axes existed are unchanged.
+        The deployment axes (``nat_profile``, ``loss_rate``, ``nat_mixture``,
+        ``upnp_fraction``) appear only when they differ from the defaults, so cell
+        keys — and the seeds derived from them — from before those axes existed are
+        unchanged.
         """
         parts = [
             f"scenario={self.scenario}",
@@ -103,6 +109,10 @@ class CellSpec:
             parts.append(f"nat_profile={self.nat_profile}")
         if self.loss_rate != DEFAULT_LOSS_RATE:
             parts.append(f"loss_rate={self.loss_rate:g}")
+        if self.nat_mixture != DEFAULT_NAT_MIXTURE:
+            parts.append(f"nat_mixture={self.nat_mixture}")
+        if self.upnp_fraction != DEFAULT_UPNP_FRACTION:
+            parts.append(f"upnp_fraction={self.upnp_fraction:g}")
         parts.extend(f"{name}={value}" for name, value in self.params)
         return ";".join(parts)
 
@@ -128,6 +138,20 @@ class CellSpec:
             )
         if not 0.0 <= self.loss_rate <= 1.0:
             raise ExperimentError(f"loss_rate out of range: {self.loss_rate}")
+        if self.nat_mixture != DEFAULT_NAT_MIXTURE:
+            if self.nat_mixture not in NAT_MIXTURES:
+                raise ExperimentError(
+                    f"unknown nat_mixture {self.nat_mixture!r}; expected "
+                    f"{DEFAULT_NAT_MIXTURE!r} or one of {sorted(NAT_MIXTURES)}"
+                )
+            if self.nat_profile != DEFAULT_NAT_PROFILE:
+                raise ExperimentError(
+                    f"cell sets both nat_mixture={self.nat_mixture!r} and "
+                    f"nat_profile={self.nat_profile!r}; a mixture already decides "
+                    "every gateway's profile"
+                )
+        if not 0.0 <= self.upnp_fraction <= 1.0:
+            raise ExperimentError(f"upnp_fraction out of range: {self.upnp_fraction}")
         if self.size <= 0:
             raise ExperimentError("cell size must be positive")
         if self.rounds <= 0:
@@ -153,11 +177,15 @@ class MatrixSpec:
     expanded: ``"default"`` (the kind's single default), ``"paper"`` (the full sweep
     the paper plots, e.g. all churn levels) or ``"first"`` (the first paper variant).
 
-    ``nat_profiles`` and ``loss_rates`` are first-class deployment axes: the NAT
-    behaviour of private nodes' gateways (names from :data:`NAT_PROFILES`;
-    :data:`PAPER_NAT_PROFILES` is the paper-setup sweep) and the uniform packet-loss
-    probability (:data:`PAPER_LOSS_RATES`). Their defaults reproduce the pre-axis
-    grids exactly, cell keys included.
+    ``nat_profiles``, ``loss_rates``, ``nat_mixtures`` and ``upnp_fractions`` are
+    first-class deployment axes: the NAT behaviour of private nodes' gateways (names
+    from :data:`NAT_PROFILES`; :data:`PAPER_NAT_PROFILES` is the paper-setup sweep),
+    the uniform packet-loss probability (:data:`PAPER_LOSS_RATES`), heterogeneous
+    gateway populations (registered :data:`repro.nat.mixture.NAT_MIXTURES` names —
+    ``"paper"`` is the paper's measured NAT-type distribution; ``"none"`` keeps the
+    homogeneous ``nat_profiles`` behaviour) and the fraction of gateways whose NAT
+    supports UPnP port mapping (:data:`PAPER_UPNP_FRACTIONS`). Their defaults
+    reproduce the pre-axis grids exactly, cell keys included.
     """
 
     scenarios: Sequence[str] = ("static",)
@@ -171,6 +199,8 @@ class MatrixSpec:
     variants: str = "default"
     nat_profiles: Sequence[str] = (DEFAULT_NAT_PROFILE,)
     loss_rates: Sequence[float] = (DEFAULT_LOSS_RATE,)
+    nat_mixtures: Sequence[str] = (DEFAULT_NAT_MIXTURE,)
+    upnp_fractions: Sequence[float] = (DEFAULT_UPNP_FRACTION,)
 
     def validate(self) -> List["CellSpec"]:
         """Validate the axes and every expanded cell; returns the cells so callers
@@ -185,6 +215,10 @@ class MatrixSpec:
             raise ExperimentError("matrix needs at least one NAT profile")
         if not self.loss_rates:
             raise ExperimentError("matrix needs at least one loss rate")
+        if not self.nat_mixtures:
+            raise ExperimentError("matrix needs at least one NAT mixture (or 'none')")
+        if not self.upnp_fractions:
+            raise ExperimentError("matrix needs at least one UPnP fraction")
         if self.seeds <= 0:
             raise ExperimentError("seeds must be positive")
         if self.rounds <= 0:
@@ -204,9 +238,9 @@ class MatrixSpec:
     def cells(self) -> List[CellSpec]:
         """Expand the axes into cells, in a stable, documented order.
 
-        Order is scenario → variant → protocol → NAT profile → loss rate → size →
-        seed, exactly as declared; the runner preserves this order in its results
-        regardless of which worker finishes first.
+        Order is scenario → variant → protocol → NAT profile → NAT mixture → UPnP
+        fraction → loss rate → size → seed, exactly as declared; the runner preserves
+        this order in its results regardless of which worker finishes first.
         """
         cells: List[CellSpec] = []
         for scenario_name in self.scenarios:
@@ -218,22 +252,26 @@ class MatrixSpec:
                 ratio = float(variant.pop("public_ratio", self.public_ratio))
                 for protocol in self.protocols:
                     for nat_profile in self.nat_profiles:
-                        for loss_rate in self.loss_rates:
-                            for size in self.sizes:
-                                for seed_index in range(self.seeds):
-                                    cells.append(
-                                        CellSpec(
-                                            scenario=scenario_name,
-                                            protocol=protocol,
-                                            size=size,
-                                            seed_index=seed_index,
-                                            rounds=self.rounds,
-                                            public_ratio=ratio,
-                                            nat_profile=nat_profile,
-                                            loss_rate=float(loss_rate),
-                                            params=_freeze_params(variant),
-                                        )
-                                    )
+                        for nat_mixture in self.nat_mixtures:
+                            for upnp_fraction in self.upnp_fractions:
+                                for loss_rate in self.loss_rates:
+                                    for size in self.sizes:
+                                        for seed_index in range(self.seeds):
+                                            cells.append(
+                                                CellSpec(
+                                                    scenario=scenario_name,
+                                                    protocol=protocol,
+                                                    size=size,
+                                                    seed_index=seed_index,
+                                                    rounds=self.rounds,
+                                                    public_ratio=ratio,
+                                                    nat_profile=nat_profile,
+                                                    loss_rate=float(loss_rate),
+                                                    nat_mixture=nat_mixture,
+                                                    upnp_fraction=float(upnp_fraction),
+                                                    params=_freeze_params(variant),
+                                                )
+                                            )
         keys = [cell.key for cell in cells]
         if len(set(keys)) != len(keys):
             raise ExperimentError("matrix expansion produced duplicate cell keys")
@@ -248,6 +286,10 @@ class MatrixSpec:
         )
         if tuple(self.nat_profiles) != (DEFAULT_NAT_PROFILE,):
             description += f" × nat_profiles={list(self.nat_profiles)}"
+        if tuple(self.nat_mixtures) != (DEFAULT_NAT_MIXTURE,):
+            description += f" × nat_mixtures={list(self.nat_mixtures)}"
+        if tuple(self.upnp_fractions) != (DEFAULT_UPNP_FRACTION,):
+            description += f" × upnp_fractions={list(self.upnp_fractions)}"
         if tuple(self.loss_rates) != (DEFAULT_LOSS_RATE,):
             description += f" × loss_rates={list(self.loss_rates)}"
         return description
@@ -331,11 +373,20 @@ def _freeze_params(params: Mapping[str, ParamValue]) -> Params:
 
 @dataclass
 class CellContext:
-    """Everything a scenario-kind runner needs to execute one cell."""
+    """Everything a scenario-kind runner needs to execute one cell.
+
+    ``reuse`` is the worker-local :class:`~repro.experiments.runner.ScenarioReuse`
+    cache the runner injects (``None`` when a cell runs standalone): cells within one
+    group share their construction recipe except for the derived seed, and the
+    context routes protocol-config prototypes and populated-scenario builds through
+    that cache so the shared parts are resolved once per worker instead of once per
+    cell.
+    """
 
     cell: CellSpec
     seed: int
     latency: str = "king"
+    reuse: Optional[object] = None
 
     @property
     def n_public(self) -> int:
@@ -348,25 +399,94 @@ class CellContext:
 
     def scenario_config(self, pss_config=None):
         """The :class:`~repro.workload.ScenarioConfig` this cell prescribes: protocol,
-        derived seed, latency, and the deployment axes (NAT profile, loss rate)."""
+        derived seed, latency, and the deployment axes (NAT profile or mixture, UPnP
+        fraction, loss rate)."""
         from repro.workload.scenario import ScenarioConfig
 
+        cell = self.cell
+        mixture = (
+            NAT_MIXTURES[cell.nat_mixture]
+            if cell.nat_mixture != DEFAULT_NAT_MIXTURE
+            else None
+        )
         return ScenarioConfig(
-            protocol=self.cell.protocol,
+            protocol=cell.protocol,
             seed=self.seed,
             latency=self.latency,
-            loss_rate=self.cell.loss_rate,
-            nat_profile=NAT_PROFILES[self.cell.nat_profile](),
+            loss_rate=cell.loss_rate,
+            nat_profile=NAT_PROFILES[cell.nat_profile](),
+            nat_mixture=mixture,
+            upnp_fraction=cell.upnp_fraction,
             pss_config=pss_config,
         )
 
+    def pss_config_for(self, key: Tuple, build: Callable[[], object]):
+        """A validated protocol-config prototype, shared through the reuse cache.
 
-def run_cell(cell: CellSpec, root_seed: int, latency: str = "king") -> MetricPayload:
+        ``key`` must fully determine the prototype (protocol name plus every config
+        parameter); configs are read-only by the protocol contract, so one prototype
+        can safely serve every cell — and every node — that asks for the same key.
+        """
+        if self.reuse is None:
+            return build()
+        return self.reuse.pss_config((self.cell.protocol,) + key, build)
+
+    def populated_scenario(self, n_public=None, n_private=None, pss_config=None):
+        """Build (or clone from the worker cache) this cell's populated scenario.
+
+        The build recipe — protocol, derived seed, latency, deployment axes,
+        population split and config prototype — fully determines the populated
+        scenario, so a cached pristine clone continues exactly like a fresh build
+        and worker counts can never change results.
+        """
+        from repro.workload.scenario import Scenario
+
+        if n_public is None:
+            n_public = self.n_public
+        if n_private is None:
+            n_private = self.n_private
+
+        def build():
+            scenario = Scenario(self.scenario_config(pss_config=pss_config))
+            scenario.populate(n_public=n_public, n_private=n_private)
+            return scenario
+
+        if self.reuse is None:
+            return build()
+        cell = self.cell
+        recipe = (
+            cell.protocol,
+            self.seed,
+            self.latency,
+            cell.loss_rate,
+            cell.nat_profile,
+            cell.nat_mixture,
+            cell.upnp_fraction,
+            n_public,
+            n_private,
+            None if pss_config is None else (type(pss_config).__name__, repr(pss_config)),
+        )
+        return self.reuse.populated_scenario(recipe, build)
+
+
+def run_cell(
+    cell: CellSpec,
+    root_seed: int,
+    latency: str = "king",
+    reuse: Optional[object] = None,
+) -> MetricPayload:
     """Execute one cell and return its :class:`~repro.metrics.payload.MetricPayload`
-    (raises on unknown kinds or runner errors)."""
+    (raises on unknown kinds or runner errors). ``reuse`` is the worker-local
+    :class:`~repro.experiments.runner.ScenarioReuse` cache, when running under the
+    matrix runner."""
     cell.validate()
     kind = SCENARIOS[cell.scenario]
-    context = CellContext(cell=cell, seed=derive_cell_seed(root_seed, cell.key), latency=latency)
+    context = CellContext(
+        cell=cell,
+        seed=derive_cell_seed(root_seed, cell.key),
+        latency=latency,
+        reuse=reuse,
+    )
     measured = kind.runner(context)
     if not isinstance(measured, MetricPayload):
         measured = MetricPayload.from_scalars(dict(measured))

@@ -46,11 +46,12 @@ def run_randomness_cell(ctx: CellContext) -> MetricPayload:
     baselines (Cyclon) run over public nodes only, as in the paper.
     """
     cell = ctx.cell
-    scenario = Scenario(ctx.scenario_config())
-    if scenario.plugin.nat_free_baseline:
-        scenario.populate(n_public=cell.size, n_private=0)
+    from repro.membership.plugin import get_plugin
+
+    if get_plugin(cell.protocol).nat_free_baseline:
+        scenario = ctx.populated_scenario(n_public=cell.size, n_private=0)
     else:
-        scenario.populate(n_public=ctx.n_public, n_private=ctx.n_private)
+        scenario = ctx.populated_scenario()
 
     measure_every = int(cell.param("measure_every_rounds", 10))
     sources = int(cell.param("path_length_sources", 30))

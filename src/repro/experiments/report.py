@@ -227,6 +227,35 @@ LOWER_IS_BETTER = frozenset(
 HIGHER_IS_BETTER = frozenset({"biggest_cluster_fraction", "live_nodes", "survivors"})
 
 
+def ks_distance(
+    old: Mapping[int, int],
+    new: Mapping[int, int],
+) -> float:
+    """Kolmogorov–Smirnov distance between two integer-bin histograms.
+
+    Both histograms are read as empirical distributions (bin → count, normalised by
+    their totals); the distance is the maximum absolute difference of the two CDFs
+    over the union of bins — 0.0 for identical shapes, 1.0 for disjoint supports.
+    Bin keys may be ints or the strings the aggregate JSON stores them as.
+    """
+    old_counts = {int(bin_): count for bin_, count in old.items()}
+    new_counts = {int(bin_): count for bin_, count in new.items()}
+    old_total = float(sum(old_counts.values()))
+    new_total = float(sum(new_counts.values()))
+    if old_total == 0.0 or new_total == 0.0:
+        return 0.0 if old_total == new_total else 1.0
+    distance = 0.0
+    cdf_old = 0.0
+    cdf_new = 0.0
+    for bin_ in sorted(set(old_counts) | set(new_counts)):
+        cdf_old += old_counts.get(bin_, 0) / old_total
+        cdf_new += new_counts.get(bin_, 0) / new_total
+        gap = abs(cdf_old - cdf_new)
+        if gap > distance:
+            distance = gap
+    return distance
+
+
 @dataclass
 class MetricChange:
     """One per-group metric whose mean moved beyond the diff tolerance."""
@@ -249,10 +278,27 @@ class MetricChange:
 
 
 @dataclass
+class HistogramChange:
+    """One per-group histogram whose shape moved (Kolmogorov–Smirnov distance > 0)."""
+
+    group: str
+    name: str
+    distance: float
+    old_samples: int
+    new_samples: int
+    gates: bool  # True when the distance exceeds the KS tolerance
+
+    @property
+    def verdict(self) -> str:
+        return "drifted" if self.gates else "within-tolerance"
+
+
+@dataclass
 class AggregateDiff:
     """The comparison of two matrix aggregates (``repro report --diff OLD NEW``)."""
 
     tolerance: float
+    ks_tolerance: float = 0.1
     changes: List[MetricChange] = dataclass_field(default_factory=list)
     missing_groups: List[str] = dataclass_field(default_factory=list)
     added_groups: List[str] = dataclass_field(default_factory=list)
@@ -260,6 +306,10 @@ class AggregateDiff:
     missing_metrics: List[str] = dataclass_field(default_factory=list)
     newly_failed_cells: List[str] = dataclass_field(default_factory=list)
     recovered_cells: List[str] = dataclass_field(default_factory=list)
+    #: Every compared group histogram with a non-zero KS distance (gating or not).
+    histogram_changes: List[HistogramChange] = dataclass_field(default_factory=list)
+    #: ``"group/histogram"`` entries present in OLD but absent from NEW (shared groups).
+    missing_histograms: List[str] = dataclass_field(default_factory=list)
 
     @property
     def regressions(self) -> List[MetricChange]:
@@ -280,23 +330,32 @@ class AggregateDiff:
         ]
 
     @property
+    def histogram_regressions(self) -> List[HistogramChange]:
+        """Histogram drifts beyond the KS tolerance — randomness regressions gate."""
+        return [c for c in self.histogram_changes if c.gates]
+
+    @property
     def has_regressions(self) -> bool:
-        """Metric regressions, disappeared groups, disappeared gated metrics or newly
-        failing cells all count."""
+        """Metric regressions, disappeared groups/metrics/histograms, histogram
+        drifts beyond the KS tolerance or newly failing cells all count."""
         return bool(
             self.regressions
             or self.missing_groups
             or self.missing_gated_metrics
             or self.newly_failed_cells
+            or self.histogram_regressions
+            or self.missing_histograms
         )
 
     def to_text(self) -> str:
         lines = [
-            f"aggregate diff (tolerance: {self.tolerance:.1%} relative change of group means)"
+            f"aggregate diff (tolerance: {self.tolerance:.1%} relative change of group "
+            f"means; KS tolerance: {self.ks_tolerance:.2f} on group histograms)"
         ]
         if not (self.changes or self.missing_groups or self.added_groups
                 or self.missing_metrics or self.newly_failed_cells
-                or self.recovered_cells):
+                or self.recovered_cells or self.histogram_changes
+                or self.missing_histograms):
             lines.append("no differences beyond tolerance")
             return "\n".join(lines)
         if self.changes:
@@ -314,10 +373,28 @@ class AggregateDiff:
                     rows,
                 )
             )
+        if self.histogram_changes:
+            rows = [
+                [c.verdict, c.group, c.name, f"{c.distance:.4f}",
+                 c.old_samples, c.new_samples]
+                for c in sorted(
+                    self.histogram_changes,
+                    key=lambda c: (-c.distance, c.group, c.name),
+                )
+            ]
+            lines.append(
+                format_table(
+                    ["verdict", "group", "histogram", "KS distance",
+                     "old n", "new n"],
+                    rows,
+                    title="histogram shapes (Kolmogorov–Smirnov distance of CDFs):",
+                )
+            )
         for label, keys in (
             ("groups only in OLD", self.missing_groups),
             ("groups only in NEW", self.added_groups),
             ("metrics missing from NEW (gated ones regress)", self.missing_metrics),
+            ("histograms missing from NEW (regress)", self.missing_histograms),
             ("cells newly failing in NEW", self.newly_failed_cells),
             ("cells recovered in NEW", self.recovered_cells),
         ):
@@ -328,12 +405,18 @@ class AggregateDiff:
             f"summary: {len(self.regressions)} regression(s), "
             f"{len(self.improvements)} improvement(s), "
             f"{len(self.changes) - len(self.regressions) - len(self.improvements)} "
-            f"neutral change(s)"
+            f"neutral change(s), {len(self.histogram_regressions)} histogram drift(s) "
+            f"beyond KS tolerance"
         )
         return "\n".join(lines)
 
 
-def diff_aggregates(old: Mapping, new: Mapping, tolerance: float = 0.05) -> AggregateDiff:
+def diff_aggregates(
+    old: Mapping,
+    new: Mapping,
+    tolerance: float = 0.05,
+    ks_tolerance: float = 0.1,
+) -> AggregateDiff:
     """Compare two matrix aggregates group by group, metric by metric.
 
     A metric *changed* when the relative difference of its group means exceeds
@@ -341,12 +424,19 @@ def diff_aggregates(old: Mapping, new: Mapping, tolerance: float = 0.05) -> Aggr
     exactly-zero error metrics don't flag on noise-free reruns). Whether a change is a
     *regression* follows the metric's orientation (:data:`LOWER_IS_BETTER` /
     :data:`HIGHER_IS_BETTER`); unoriented metrics are reported but never gate.
+
+    Histogram payloads gate too: every ``group_histograms`` entry the aggregates
+    share is compared by :func:`ks_distance` (e.g. the per-group in-degree
+    distributions — the paper's randomness evidence). Non-zero distances are
+    reported; distances beyond ``ks_tolerance``, and histograms that disappeared
+    from NEW, count as regressions.
+
     Diffing an aggregate against itself reports nothing and never regresses — CI
-    exercises exactly that invariant.
+    exercises exactly that invariant via the committed baseline.
     """
     old_groups = old.get("groups", {})
     new_groups = new.get("groups", {})
-    diff = AggregateDiff(tolerance=tolerance)
+    diff = AggregateDiff(tolerance=tolerance, ks_tolerance=ks_tolerance)
     diff.missing_groups = sorted(set(old_groups) - set(new_groups))
     diff.added_groups = sorted(set(new_groups) - set(old_groups))
 
@@ -372,6 +462,35 @@ def diff_aggregates(old: Mapping, new: Mapping, tolerance: float = 0.05) -> Aggr
                     rel_change=delta / scale,
                 )
             )
+
+    old_histograms = old.get("group_histograms", {})
+    new_histograms = new.get("group_histograms", {})
+    for group in sorted(set(old_histograms) & set(new_histograms)):
+        old_named = old_histograms[group]
+        new_named = new_histograms[group]
+        diff.missing_histograms.extend(
+            f"{group}/{name}" for name in sorted(set(old_named) - set(new_named))
+        )
+        for name in sorted(set(old_named) & set(new_named)):
+            distance = ks_distance(old_named[name], new_named[name])
+            if distance <= 0.0:
+                continue
+            diff.histogram_changes.append(
+                HistogramChange(
+                    group=group,
+                    name=name,
+                    distance=distance,
+                    old_samples=int(sum(old_named[name].values())),
+                    new_samples=int(sum(new_named[name].values())),
+                    gates=distance > ks_tolerance,
+                )
+            )
+    diff.missing_histograms.extend(
+        f"{group}/{name}"
+        for group in sorted(set(old_histograms) - set(new_histograms))
+        if group in new_groups  # a disappeared *group* is already reported above
+        for name in sorted(old_histograms[group])
+    )
 
     old_failed = set(old.get("failed", []))
     new_failed = set(new.get("failed", []))

@@ -22,6 +22,7 @@ import json
 import multiprocessing
 import time
 import traceback
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
@@ -29,7 +30,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import ExperimentError
 from repro.experiments.matrix import (
     DEFAULT_LOSS_RATE,
+    DEFAULT_NAT_MIXTURE,
     DEFAULT_NAT_PROFILE,
+    DEFAULT_UPNP_FRACTION,
     CellSpec,
     MatrixSpec,
     derive_cell_seed,
@@ -87,6 +90,81 @@ class MatrixRunResult:
         return build_aggregate(self.spec, self.results)
 
 
+class ScenarioReuse:
+    """Worker-local reuse of scenario-construction work across matrix cells.
+
+    Cells within one group share their entire construction recipe except the derived
+    cell seed, so the parts of scenario construction that are *not* functions of that
+    seed — the validated protocol-config prototype for a parameter set, and pristine
+    populated-scenario snapshots for build recipes that repeat exactly — are resolved
+    once per worker process instead of being rebuilt for every cell.
+
+    Reuse can never change results: config prototypes are read-only by the protocol
+    contract (one prototype already serves every node of a scenario), snapshots are
+    keyed by the full deterministic build recipe *including the seed* and handed out
+    as :meth:`~repro.workload.Scenario.clone` copies, and everything seed-dependent
+    is still built per cell. That is what keeps the 4-vs-1-worker byte-identical
+    aggregate guarantee intact: a cache hit replays exactly the state a fresh build
+    would have produced, no matter which worker served it.
+
+    Snapshots are only captured once a recipe is requested a *second* time (cloning
+    costs about as much as one small build, so speculatively snapshotting every cell
+    would give the win back); repeat-heavy callers therefore pay one extra build
+    before hits start. The snapshot store is a small LRU so long matrix runs cannot
+    accumulate populations.
+    """
+
+    MAX_SNAPSHOTS = 4
+    MAX_TRACKED_RECIPES = 256
+
+    def __init__(self) -> None:
+        self._configs: Dict[Tuple, object] = {}
+        self._snapshots: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._requests: "OrderedDict[Tuple, int]" = OrderedDict()
+        self.config_hits = 0
+        self.snapshot_hits = 0
+
+    def pss_config(self, key: Tuple, build: Callable[[], object]):
+        """The validated config prototype for ``key`` (built on first request)."""
+        prototype = self._configs.get(key)
+        if prototype is None:
+            prototype = build()
+            self._configs[key] = prototype
+        else:
+            self.config_hits += 1
+        return prototype
+
+    def populated_scenario(self, recipe: Tuple, build: Callable[[], object]):
+        """A populated scenario for ``recipe`` — cloned from the cache on repeats."""
+        snapshot = self._snapshots.get(recipe)
+        if snapshot is not None:
+            self._snapshots.move_to_end(recipe)
+            self.snapshot_hits += 1
+            return snapshot.clone()
+        scenario = build()
+        count = self._requests.pop(recipe, 0) + 1
+        self._requests[recipe] = count  # re-insert at the recent end
+        while len(self._requests) > self.MAX_TRACKED_RECIPES:
+            self._requests.popitem(last=False)
+        if count >= 2:
+            self._snapshots[recipe] = scenario.clone()
+            while len(self._snapshots) > self.MAX_SNAPSHOTS:
+                self._snapshots.popitem(last=False)
+        return scenario
+
+
+#: One reuse cache per process: forked pool workers each get their own copy-on-write
+#: instance, and the sequential (workers=1) path shares the main process's.
+_WORKER_REUSE: Optional[ScenarioReuse] = None
+
+
+def _worker_reuse() -> ScenarioReuse:
+    global _WORKER_REUSE
+    if _WORKER_REUSE is None:
+        _WORKER_REUSE = ScenarioReuse()
+    return _WORKER_REUSE
+
+
 def _execute_cell(payload: Tuple[CellSpec, int, str]) -> CellResult:
     """Top-level worker entry point (must be picklable for the multiprocessing pool).
 
@@ -102,7 +180,7 @@ def _execute_cell(payload: Tuple[CellSpec, int, str]) -> CellResult:
     seed = derive_cell_seed(root_seed, cell.key)
     started = time.perf_counter()
     try:
-        payload = run_cell(cell, root_seed=root_seed, latency=latency)
+        payload = run_cell(cell, root_seed=root_seed, latency=latency, reuse=_worker_reuse())
     except Exception:
         return CellResult(
             cell=cell,
@@ -191,6 +269,10 @@ def _group_key(cell: CellSpec) -> str:
         parts.append(f"nat_profile={cell.nat_profile}")
     if cell.loss_rate != DEFAULT_LOSS_RATE:
         parts.append(f"loss_rate={cell.loss_rate:g}")
+    if cell.nat_mixture != DEFAULT_NAT_MIXTURE:
+        parts.append(f"nat_mixture={cell.nat_mixture}")
+    if cell.upnp_fraction != DEFAULT_UPNP_FRACTION:
+        parts.append(f"upnp_fraction={cell.upnp_fraction:g}")
     parts.append(f"size={cell.size}")
     return ";".join(parts)
 
@@ -240,21 +322,29 @@ def build_aggregate(spec: MatrixSpec, results: List[CellResult]) -> Dict:
         for group, histograms in aggregate_group_histograms(grouped_histograms).items()
     }
 
+    spec_section = {
+        "scenarios": list(spec.scenarios),
+        "protocols": list(spec.protocols),
+        "sizes": list(spec.sizes),
+        "seeds": spec.seeds,
+        "rounds": spec.rounds,
+        "public_ratio": spec.public_ratio,
+        "root_seed": spec.root_seed,
+        "latency": spec.latency,
+        "variants": spec.variants,
+        "nat_profiles": list(spec.nat_profiles),
+        "loss_rates": list(spec.loss_rates),
+    }
+    # The PR-4 axes appear only when actually swept, so aggregates of pre-axis specs
+    # stay byte-identical to their archived versions.
+    if tuple(spec.nat_mixtures) != (DEFAULT_NAT_MIXTURE,):
+        spec_section["nat_mixtures"] = list(spec.nat_mixtures)
+    if tuple(spec.upnp_fractions) != (DEFAULT_UPNP_FRACTION,):
+        spec_section["upnp_fractions"] = list(spec.upnp_fractions)
+
     return {
         "schema": AGGREGATE_SCHEMA,
-        "spec": {
-            "scenarios": list(spec.scenarios),
-            "protocols": list(spec.protocols),
-            "sizes": list(spec.sizes),
-            "seeds": spec.seeds,
-            "rounds": spec.rounds,
-            "public_ratio": spec.public_ratio,
-            "root_seed": spec.root_seed,
-            "latency": spec.latency,
-            "variants": spec.variants,
-            "nat_profiles": list(spec.nat_profiles),
-            "loss_rates": list(spec.loss_rates),
-        },
+        "spec": spec_section,
         "cells": cells_section,
         "groups": aggregate_groups(grouped),
         "group_histograms": group_histograms,

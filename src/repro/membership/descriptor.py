@@ -83,6 +83,15 @@ class NodeDescriptor:
     # equality but were never hashable — node ids key every table instead.
     __hash__ = None  # type: ignore[assignment]
 
+    # Descriptors are immutable all the way down (address and parents are frozen),
+    # so copying — including the deep copy a Scenario.clone() performs — can share
+    # the object, exactly like copy() does.
+    def __copy__(self) -> "NodeDescriptor":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "NodeDescriptor":
+        return self
+
     # ------------------------------------------------------------------ identity
 
     @property

@@ -151,19 +151,28 @@ class GraphProbe(MetricProbe):
     """Overlay randomness (Figure 6) and connectivity (Figure 7b) metrics.
 
     Records the in-degree distribution both as summary scalars and as the
-    ``in_degree`` histogram — the series the paper's Figure 6(a) plots.
+    ``in_degree`` histogram — the series the paper's Figure 6(a) plots. When the
+    scenario runs a heterogeneous gateway population (a
+    :class:`~repro.nat.mixture.NatMixture`), the distribution is additionally broken
+    down per NAT class as ``in_degree_<class>`` histograms (``public``, ``upnp`` and
+    one per sampled profile name) with ``indeg_mean_<class>`` scalars — the paper's
+    question of whether hard-to-traverse NAT types are underrepresented in views.
+    Homogeneous cells carry no breakdown, so pre-mixture payloads are unchanged.
     """
 
     name = "graph"
     requires = (OverlaySampling,)
 
     def measure(self, scenario, payload: MetricPayload, context: ProbeContext) -> None:
+        from collections import Counter
+
         from repro.metrics.graph import (
             average_clustering_coefficient,
             average_path_length,
             build_overlay_graph,
             degree_statistics,
             in_degree_distribution,
+            in_degrees,
         )
         from repro.metrics.partition import largest_cluster_fraction
 
@@ -176,6 +185,16 @@ class GraphProbe(MetricProbe):
         payload.set_scalar("indeg_max", stats["max"])
         payload.set_scalar("biggest_cluster_fraction", largest_cluster_fraction(graph))
         payload.set_histogram("in_degree", in_degree_distribution(graph))
+        if getattr(scenario.config, "nat_mixture", None) is not None:
+            degrees = in_degrees(graph)
+            for label, node_ids in sorted(scenario.nat_class_members().items()):
+                class_degrees = [degrees[n] for n in node_ids if n in degrees]
+                if not class_degrees:
+                    continue
+                payload.set_histogram(f"in_degree_{label}", dict(Counter(class_degrees)))
+                payload.set_scalar(
+                    f"indeg_mean_{label}", sum(class_degrees) / len(class_degrees)
+                )
         metrics_rng = scenario.sim.derive_rng(context.rng_label)
         path = average_path_length(
             graph, sample_sources=context.path_length_sources, rng=metrics_rng

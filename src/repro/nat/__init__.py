@@ -23,8 +23,15 @@ itself never uses them — that is the point of the paper.
 
 from repro.nat.allocator import AllocationPolicy, PortAllocator
 from repro.nat.firewall import FirewallBox
+from repro.nat.mixture import NAT_MIXTURES, NatMixture, get_mixture
 from repro.nat.nat_box import NatBinding, NatBox
-from repro.nat.types import FilteringPolicy, MappingPolicy, NatProfile
+from repro.nat.types import (
+    NAMED_PROFILES,
+    FilteringPolicy,
+    MappingPolicy,
+    NatProfile,
+    profile_name,
+)
 from repro.nat.upnp import UpnpNatBox
 
 __all__ = [
@@ -32,9 +39,14 @@ __all__ = [
     "FilteringPolicy",
     "FirewallBox",
     "MappingPolicy",
+    "NAMED_PROFILES",
+    "NAT_MIXTURES",
     "NatBinding",
     "NatBox",
+    "NatMixture",
     "NatProfile",
     "PortAllocator",
     "UpnpNatBox",
+    "get_mixture",
+    "profile_name",
 ]

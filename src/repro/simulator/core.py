@@ -25,8 +25,25 @@ from typing import Callable, List, Optional
 
 from repro.errors import SimulationError
 
+class _NoArg:
+    """Sentinel type distinguishing "no argument" from "argument is None".
+
+    The sentinel is compared by identity in the event hot path, so it must survive
+    ``copy.deepcopy`` as the *same* object — a cloned simulator (``Scenario.clone``)
+    still has to recognise argument-less events.
+    """
+
+    __slots__ = ()
+
+    def __copy__(self) -> "_NoArg":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "_NoArg":
+        return self
+
+
 #: Sentinel distinguishing "no argument" from "argument is None".
-_NO_ARG = object()
+_NO_ARG = _NoArg()
 
 
 def derive_seed(root_seed: object, *labels: object) -> int:

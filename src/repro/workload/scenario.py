@@ -26,6 +26,7 @@ True
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Type, Union
@@ -34,15 +35,11 @@ from repro.bootstrap.registry import BootstrapRegistry
 from repro.constants import DEFAULT_ROUND_MS
 from repro.errors import ConfigurationError, ExperimentError
 from repro.membership.base import PeerSamplingService, PssConfig
-from repro.membership.capabilities import Capability, RatioEstimating
-from repro.membership.plugin import (
-    ProtocolPlugin,
-    all_plugins,
-    get_plugin,
-    protocol_names,
-)
+from repro.membership.capabilities import Capability
+from repro.membership.plugin import ProtocolPlugin, get_plugin, protocol_names
+from repro.nat.mixture import NatMixture
 from repro.nat.nat_box import NatBox
-from repro.nat.types import NatProfile
+from repro.nat.types import NatProfile, profile_name
 from repro.nat.upnp import UpnpNatBox
 from repro.natid.protocol import NatIdentificationClient, NatIdentificationServer
 from repro.net.address import Endpoint, NatType, NodeAddress
@@ -54,18 +51,6 @@ from repro.simulator.message import Message
 from repro.simulator.monitor import TrafficMonitor, TrafficSnapshot
 from repro.simulator.network import Network
 from repro.workload.ipalloc import IpAllocator
-
-
-def _protocols_compat() -> Dict[str, tuple]:
-    """Deprecated view of the plugin registry; use :mod:`repro.membership.plugin`."""
-    return {p.name: (p.factory, p.config_cls) for p in all_plugins()}
-
-
-#: Deprecated (PR 3): registered protocol names and their (component class, default
-#: config class). Kept for one PR as a read-only snapshot of the
-#: :mod:`repro.membership.plugin` registry — new code should call
-#: :func:`repro.membership.plugin.get_plugin` / :func:`~repro.membership.plugin.protocol_names`.
-PROTOCOLS: Dict[str, tuple] = _protocols_compat()
 
 
 @dataclass
@@ -83,7 +68,14 @@ class ScenarioConfig:
         protocol's default configuration (which matches the paper's setup).
     nat_profile:
         NAT behaviour for private nodes' gateways. The default (restricted cone) is the
-        most common consumer NAT behaviour.
+        most common consumer NAT behaviour. Ignored when ``nat_mixture`` is set.
+    nat_mixture:
+        Optional heterogeneous gateway population: each private node's gateway samples
+        its :class:`~repro.nat.types.NatProfile` from this
+        :class:`~repro.nat.mixture.NatMixture`, deterministically from a stream derived
+        from the scenario seed (the paper evaluates against its *measured* NAT-type
+        distribution, registered as the ``"paper"`` mixture). Takes precedence over
+        ``nat_profile``.
     latency:
         ``"king"`` (default), ``"constant"``, ``"uniform"``, or a ready-made
         :class:`~repro.simulator.latency.LatencyModel`.
@@ -104,6 +96,7 @@ class ScenarioConfig:
     seed: int = 42
     pss_config: Optional[PssConfig] = None
     nat_profile: NatProfile = field(default_factory=NatProfile.restricted_cone)
+    nat_mixture: Optional[NatMixture] = None
     latency: Union[str, LatencyModel] = "king"
     loss_rate: float = 0.0
     bootstrap_seed_size: Optional[int] = None
@@ -132,6 +125,8 @@ class NodeHandle:
     is_public: bool
     joined_at_ms: float
     natid_client: Optional[NatIdentificationClient] = None
+    #: Canonical name of the gateway's NAT profile (``None`` for un-NATed nodes).
+    nat_profile_name: Optional[str] = None
 
     @property
     def alive(self) -> bool:
@@ -164,6 +159,14 @@ class Scenario:
         self.plugin: ProtocolPlugin = get_plugin(self.config.protocol)
         self._pss_config = self.config.pss_config or self.plugin.default_config()
         self._pss_config.validate()
+        # Mixture sampling runs on its own derived stream so that enabling a mixture
+        # never perturbs the scenario RNG (and a mixture-free run consumes nothing).
+        self._nat_mixture_rng = (
+            self.sim.derive_rng("nat-mixture")
+            if self.config.nat_mixture is not None
+            else None
+        )
+        self._fixed_profile_name = profile_name(self.config.nat_profile)
 
     # ------------------------------------------------------------------ construction
 
@@ -246,6 +249,12 @@ class Scenario:
         host = Host(self.sim, self.network, address, natbox=None)
         return self._finish_node(host, natbox=None, ground_truth_public=True)
 
+    def _gateway_profile(self) -> tuple:
+        """The (name, profile) the next created gateway runs — fixed or mixture-drawn."""
+        if self.config.nat_mixture is not None:
+            return self.config.nat_mixture.sample(self._nat_mixture_rng)
+        return self._fixed_profile_name, self.config.nat_profile
+
     def _add_private_node(self) -> NodeHandle:
         node_id = self._allocate_node_id()
         external_ip = self.ip_alloc.nat_external_ip()
@@ -254,10 +263,11 @@ class Scenario:
             self.config.upnp_fraction > 0.0
             and self.rng.random() < self.config.upnp_fraction
         )
+        gateway_profile_name, gateway_profile = self._gateway_profile()
         if use_upnp:
-            natbox: NatBox = UpnpNatBox(external_ip, profile=self.config.nat_profile)
+            natbox: NatBox = UpnpNatBox(external_ip, profile=gateway_profile)
         else:
-            natbox = NatBox(external_ip, profile=self.config.nat_profile)
+            natbox = NatBox(external_ip, profile=gateway_profile)
         nat_type = NatType.PUBLIC if use_upnp else NatType.PRIVATE
         address = NodeAddress(
             node_id=node_id,
@@ -274,15 +284,25 @@ class Scenario:
                 external_port=self._pss_config.port,
                 now=self.sim.now,
             )
-        return self._finish_node(host, natbox=natbox, ground_truth_public=use_upnp)
+        return self._finish_node(
+            host,
+            natbox=natbox,
+            ground_truth_public=use_upnp,
+            nat_profile_name=gateway_profile_name,
+        )
 
     def _finish_node(
-        self, host: Host, natbox: Optional[NatBox], ground_truth_public: bool
+        self,
+        host: Host,
+        natbox: Optional[NatBox],
+        ground_truth_public: bool,
+        nat_profile_name: Optional[str] = None,
     ) -> NodeHandle:
         if self.config.identify_nat_types:
             handle = self._finish_node_with_identification(host, natbox, ground_truth_public)
         else:
             handle = self._start_pss(host, natbox, ground_truth_public)
+        handle.nat_profile_name = nat_profile_name if natbox is not None else None
         self.nodes[host.node_id] = handle
         return handle
 
@@ -471,47 +491,41 @@ class Scenario:
                 replaced += 1
         return replaced
 
-    # ------------------------------------------------------- deprecated protocol access
-    #
-    # PR-3 shims: these pre-plugin accessors survive for exactly one PR. They now
-    # *raise* for protocols lacking the capability instead of silently returning
-    # empty lists (which used to make e.g. a Gozar cell look like a Croupier cell
-    # with zero estimators).
+    # ------------------------------------------------------------------ NAT classes
 
-    def ratio_estimates(self, min_rounds: int = 2) -> List[Optional[float]]:
-        """Deprecated: every live estimating node's current ratio estimate.
+    def nat_class_members(self) -> Dict[str, List[int]]:
+        """Live node ids grouped by NAT class, in node-creation order.
 
-        Use :func:`repro.metrics.probes.collect_ratio_estimates` (non-raising) or
-        ``services_with(RatioEstimating)`` instead. Nodes that have executed fewer
-        than ``min_rounds`` rounds are excluded, exactly as in the paper ("evaluation
-        metrics for new nodes ... are not included until they have executed 2 rounds").
-
-        Raises :class:`~repro.errors.CapabilityError` when the protocol does not
-        estimate ratios.
+        Classes are ``"public"`` (no gateway), ``"upnp"`` (gateway with an explicit
+        UPnP port mapping — publicly reachable) and the canonical profile name of the
+        gateway's NAT behaviour otherwise (``restricted_cone``, ``symmetric``, ...).
+        This is what the per-NAT-type metric breakdowns key on when a
+        :class:`~repro.nat.mixture.NatMixture` is in play.
         """
-        self.require(RatioEstimating, context="Scenario.ratio_estimates (deprecated)")
-        return [
-            pss.estimated_ratio()
-            for pss in self.services_with(RatioEstimating)
-            if pss.current_round >= min_rounds
-        ]
+        classes: Dict[str, List[int]] = {}
+        for handle in self.live_handles():
+            if handle.natbox is None:
+                label = "public"
+            elif isinstance(handle.natbox, UpnpNatBox):
+                label = "upnp"
+            else:
+                label = handle.nat_profile_name or self._fixed_profile_name
+            classes.setdefault(label, []).append(handle.node_id)
+        return classes
 
-    def croupier_instances(self) -> List[PeerSamplingService]:
-        """Deprecated: every live ratio-estimating component, public and private.
+    # ------------------------------------------------------------------ snapshots
 
-        Use ``services_with(RatioEstimating)``. Raises
-        :class:`~repro.errors.CapabilityError` for non-estimating protocols.
+    def clone(self) -> "Scenario":
+        """An independent deep copy of the whole deployment at the current instant.
+
+        The clone carries every piece of state — virtual clock, pending events, RNG
+        streams, views, NAT bindings — so running the clone produces exactly the
+        trajectory the original would have produced, and the original stays pristine.
+        Harnesses that branch several destructive treatments off one warmed-up system
+        (e.g. the catastrophic-failure sweep) clone once per treatment instead of
+        rebuilding and re-warming the population every time.
         """
-        self.require(RatioEstimating, context="Scenario.croupier_instances (deprecated)")
-        return self.services_with(RatioEstimating)
-
-    def croupiers(self) -> List[PeerSamplingService]:
-        """Deprecated: the live *public* estimating components (the acting croupiers).
-
-        Use ``services_with(RatioEstimating)`` with an ``address.is_public`` filter.
-        Raises :class:`~repro.errors.CapabilityError` for non-estimating protocols.
-        """
-        return [pss for pss in self.croupier_instances() if pss.address.is_public]
+        return copy.deepcopy(self)
 
     # ------------------------------------------------------------------ protocol access
 

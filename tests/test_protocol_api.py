@@ -126,26 +126,31 @@ class TestCapabilityConformance:
         assert len(sampled_ids) >= 10
 
 
-class TestCapabilityShims:
-    def test_ratio_estimates_works_for_estimating_protocol(self):
+class TestDeprecatedShimsRemoved:
+    """The PR-3 transition shims are gone: the capability API is the only protocol
+    access path, and the probes module is the one place estimates are collected."""
+
+    def test_pre_plugin_accessors_are_gone(self):
+        scenario = Scenario(ScenarioConfig(protocol="croupier", seed=2, latency="constant"))
+        for removed in ("ratio_estimates", "croupiers", "croupier_instances"):
+            assert not hasattr(scenario, removed)
+
+    def test_protocols_dict_snapshot_is_gone(self):
+        import repro.workload.scenario as scenario_module
+
+        assert not hasattr(scenario_module, "PROTOCOLS")
+
+    def test_collect_ratio_estimates_matches_capability_api(self):
         scenario = Scenario(ScenarioConfig(protocol="croupier", seed=2, latency="constant"))
         scenario.populate(n_public=4, n_private=8)
         scenario.run_rounds(5)
-        assert len(scenario.ratio_estimates(min_rounds=2)) == 12
-        assert scenario.ratio_estimates(min_rounds=2) == collect_ratio_estimates(
-            scenario, min_rounds=2
-        )
-
-    @pytest.mark.parametrize("protocol", ("cyclon", "gozar", "nylon", "arrg"))
-    def test_shims_raise_capability_error_naming_the_capability(self, protocol):
-        scenario = Scenario(ScenarioConfig(protocol=protocol, seed=2, latency="constant"))
-        scenario.populate(n_public=3, n_private=3)
-        for accessor in (scenario.ratio_estimates, scenario.croupiers,
-                         scenario.croupier_instances):
-            with pytest.raises(CapabilityError) as excinfo:
-                accessor()
-            assert "RatioEstimating" in str(excinfo.value)
-            assert protocol in str(excinfo.value)
+        estimates = collect_ratio_estimates(scenario, min_rounds=2)
+        assert len(estimates) == 12
+        assert estimates == [
+            pss.estimated_ratio()
+            for pss in scenario.services_with(RatioEstimating)
+            if pss.current_round >= 2
+        ]
 
     def test_collect_ratio_estimates_is_non_raising(self):
         scenario = Scenario(ScenarioConfig(protocol="cyclon", seed=2, latency="constant"))
@@ -349,15 +354,6 @@ class TestScenarioPluginIntegration:
         assert isinstance(scenario.plugin, ProtocolPlugin)
         assert scenario.plugin.name == "gozar"
         assert scenario.supports(NatAware) and not scenario.supports(RatioEstimating)
-
-    def test_protocols_compat_mapping_mirrors_registry(self):
-        from repro.workload.scenario import PROTOCOLS
-
-        assert set(ALL_PROTOCOLS) <= set(PROTOCOLS)
-        for name in ALL_PROTOCOLS:
-            factory, config_cls = PROTOCOLS[name]
-            plugin = get_plugin(name)
-            assert factory is plugin.factory and config_cls is plugin.config_cls
 
     def test_every_plugin_runs_through_scenario(self):
         for plugin in all_plugins():

@@ -111,11 +111,13 @@ class TestScenarioBasics:
         )
 
     def test_ratio_estimates_exclude_young_nodes(self):
+        from repro.metrics.probes import collect_ratio_estimates
+
         scenario = Scenario(ScenarioConfig(seed=1, latency="constant"))
         scenario.populate(n_public=4, n_private=8)
-        assert scenario.ratio_estimates(min_rounds=2) == []
+        assert collect_ratio_estimates(scenario, min_rounds=2) == []
         scenario.run_rounds(5)
-        assert len(scenario.ratio_estimates(min_rounds=2)) == 12
+        assert len(collect_ratio_estimates(scenario, min_rounds=2)) == 12
 
     def test_pss_of_unknown_node_raises(self):
         scenario = Scenario(ScenarioConfig(seed=1, latency="constant"))
@@ -154,7 +156,9 @@ class TestScenarioBasics:
         assert identified_public == 5
         assert identified_private == 10
         # The system still works: estimates exist and are sane.
-        estimates = [e for e in scenario.ratio_estimates() if e is not None]
+        from repro.metrics.probes import collect_ratio_estimates
+
+        estimates = [e for e in collect_ratio_estimates(scenario) if e is not None]
         assert estimates and all(0.0 <= e <= 1.0 for e in estimates)
 
 
