@@ -7,6 +7,10 @@
 #   ./scripts/bench_smoke.sh            # quick scenario (300 nodes x 30 rounds)
 #   BENCH_FULL=1 ./scripts/bench_smoke.sh   # full acceptance scenario (1000 x 100)
 #   BENCH_SKIP_TESTS=1 ./scripts/bench_smoke.sh   # bench only (CI runs tests itself)
+#   BENCH_OUTPUT=artifacts/bench_smoke.json ./scripts/bench_smoke.sh
+#       # write elsewhere — CI uses this so a quick run never overwrites the
+#       # committed full-mode BENCH_hotpaths.json (regenerate that deliberately
+#       # with `python benchmarks/run_bench.py`)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,8 +23,12 @@ fi
 
 echo
 echo "== hot-path benchmarks =="
+ARGS=()
+if [ -n "${BENCH_OUTPUT:-}" ]; then
+    ARGS+=(--output "$BENCH_OUTPUT")
+fi
 if [ "${BENCH_FULL:-0}" = "1" ]; then
-    python benchmarks/run_bench.py
+    python benchmarks/run_bench.py "${ARGS[@]}"
 else
-    python benchmarks/run_bench.py --quick
+    python benchmarks/run_bench.py --quick "${ARGS[@]}"
 fi

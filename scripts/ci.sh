@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Local mirror of the CI gate (.github/workflows/ci.yml): byte-compile the package,
 # run the tier-1 tests, the <=60s bench smoke, a mini experiment-matrix whose
-# aggregate must be byte-identical between a 4-worker and a 1-worker run, and a
-# cross-PR regression diff against the committed baseline aggregate.
+# aggregate must be byte-identical between a 4-worker and a 1-worker run AND to the
+# committed baseline aggregate, a workload-timeline mini-matrix with the same
+# 4-vs-1 parity, a `--dry-run` cell-key stability diff, and a cross-PR regression
+# diff against the committed baseline.
 #
 #   ./scripts/ci.sh
 #
@@ -18,6 +20,21 @@
 #       --nat-mixtures none,paper --upnp-fractions 0,0.2 \
 #       --workers 1 --out artifacts/baseline
 #   git add -f artifacts/baseline/matrix_aggregate.json
+#
+# The committed cell list (artifacts/baseline/matrix_cells.txt) pins the legacy and
+# timeline cell keys, derived seeds and timeline digests; regenerate it together
+# with the baseline whenever a key change is intentional:
+#
+#   { PYTHONPATH=src python -m repro matrix \
+#         --scenarios static --protocols croupier,cyclon --sizes 60 \
+#         --seeds 2 --rounds 10 --latency constant \
+#         --nat-mixtures none,paper --upnp-fractions 0,0.2 --dry-run;
+#     PYTHONPATH=src python -m repro matrix \
+#         --scenarios static --protocols croupier --sizes 40 \
+#         --seeds 2 --rounds 70 --latency constant \
+#         --timelines paper-churn --dry-run; } 2>/dev/null \
+#     > artifacts/baseline/matrix_cells.txt
+#   git add -f artifacts/baseline/matrix_cells.txt
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,7 +49,9 @@ python -m pytest -x -q
 
 echo
 echo "== bench smoke (perf trajectory) =="
-BENCH_SKIP_TESTS=1 ./scripts/bench_smoke.sh
+# The smoke run is quick-mode; write it under artifacts/ so it never overwrites
+# the committed full-mode BENCH_hotpaths.json.
+BENCH_SKIP_TESTS=1 BENCH_OUTPUT=artifacts/bench_smoke.json ./scripts/bench_smoke.sh
 
 echo
 echo "== mini-matrix smoke: 4-vs-1 worker parity (incl. NAT-mixture + UPnP cells) =="
@@ -46,9 +65,34 @@ cmp artifacts/ci-matrix-w4/matrix_aggregate.json \
 echo "parity OK: 4-worker aggregate is byte-identical to the sequential run"
 
 echo
+echo "== timeline mini-matrix: paper-churn preset, 4-vs-1 worker parity =="
+TIMELINE_ARGS=(--scenarios static --protocols croupier --sizes 40
+               --seeds 2 --rounds 70 --latency constant
+               --timelines paper-churn)
+python -m repro matrix "${TIMELINE_ARGS[@]}" --workers 4 --out artifacts/ci-timeline-w4
+python -m repro matrix "${TIMELINE_ARGS[@]}" --workers 1 --out artifacts/ci-timeline-w1
+cmp artifacts/ci-timeline-w4/matrix_aggregate.json \
+    artifacts/ci-timeline-w1/matrix_aggregate.json
+echo "parity OK: timeline cells are byte-identical across worker counts"
+
+echo
+echo "== cell-key stability: dry-run vs committed cell list =="
+# Legacy cell keys, derived seeds and timeline digests must never drift silently —
+# a drift re-seeds every archived cell. Regeneration recipe: see the header.
+{ python -m repro matrix "${MATRIX_ARGS[@]}" --dry-run;
+  python -m repro matrix "${TIMELINE_ARGS[@]}" --dry-run; } 2>/dev/null \
+    | diff - artifacts/baseline/matrix_cells.txt
+echo "cell keys OK: keys, seeds and timeline digests match the committed list"
+
+echo
 echo "== baseline gate: cross-PR diff against the committed aggregate =="
-# Group means (5% tolerance) AND per-group histogram shapes (KS distance 0.1) must
-# not regress relative to the committed baseline; exit 1 fails the gate.
+# The mini-matrix is a pure function of its spec, so the aggregate must be
+# byte-identical to the committed baseline...
+cmp artifacts/baseline/matrix_aggregate.json \
+    artifacts/ci-matrix-w1/matrix_aggregate.json
+echo "baseline bytes OK: aggregate is byte-identical to the committed baseline"
+# ...and the semantic gate (group means, 5% tolerance; histogram shapes, KS
+# distance 0.1) keeps reporting what a deliberate regeneration would change.
 python -m repro report --diff artifacts/baseline/matrix_aggregate.json \
                               artifacts/ci-matrix-w1/matrix_aggregate.json
 echo "baseline gate OK: no regressions vs artifacts/baseline/matrix_aggregate.json"

@@ -87,6 +87,12 @@ def _build_runners() -> Dict[str, Callable]:
             seed=a.seed,
             latency=a.latency,
         ),
+        "nat-indegree": lambda a: exp.run_nat_indegree_experiment(
+            total_nodes=a.nodes,
+            rounds=a.rounds,
+            seed=a.seed,
+            latency=a.latency,
+        ),
     }
 
 
@@ -159,6 +165,15 @@ def build_parser() -> argparse.ArgumentParser:
         "UPnP port mapping, or 'paper' for the paper-setup sweep (0,0.2,0.5)",
     )
     matrix.add_argument(
+        "--timelines",
+        type=_csv_list,
+        default=["none"],
+        help="workload-timeline axis: comma-separated registered timeline names "
+        "(paper-churn, paper-failure, flash-crowd, diurnal, partition-heal, ... — "
+        "`--list` shows them) or paths to timeline JSON files; 'none' adds no "
+        "extra dynamics",
+    )
+    matrix.add_argument(
         "--variants",
         choices=("default", "paper", "first"),
         default="default",
@@ -168,6 +183,12 @@ def build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("--out", type=Path, default=Path("artifacts/matrix"))
     matrix.add_argument(
         "--list", action="store_true", help="list registered scenario kinds and exit"
+    )
+    matrix.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded cell list (key, derived seed, timeline digest) as "
+        "tab-separated rows without running anything — the cell-key stability gate",
     )
 
     bench = subparsers.add_parser("bench", help="run the perf-trajectory benchmark")
@@ -209,6 +230,55 @@ def build_parser() -> argparse.ArgumentParser:
 # ------------------------------------------------------------------ subcommands
 
 
+def _resolve_timeline_value(value: str) -> str:
+    """Turn one ``--timelines`` value into a registered timeline name.
+
+    Registered names (and the default ``none``) pass through; a value ending in
+    ``.json`` is parsed as a timeline document and registered under ``file:<stem>``
+    so the matrix machinery — including forked pool workers — can resolve it. (Under
+    a spawn start method file-based timelines need ``--workers 1``, like any
+    run-time registration.)
+    """
+    if not value.endswith(".json"):
+        return value
+    from repro.workload.timeline import TIMELINES, Timeline, register_timeline
+
+    path = Path(value)
+    if not path.exists():
+        raise ReproError(f"timeline file not found: {path}")
+    timeline = Timeline.from_json(path.read_text())
+    name = f"file:{path.stem}"
+    existing = TIMELINES.get(name)
+    if existing is not None and existing.timeline != timeline:
+        raise ReproError(
+            f"timeline name {name!r} (from {path}) collides with a different "
+            f"timeline already registered under that name — file-based timelines "
+            f"are keyed by stem, so rename one of the files"
+        )
+    register_timeline(name, timeline, description=f"loaded from {path}", replace=True)
+    return name
+
+
+def _dry_run_matrix(spec) -> int:
+    """``repro matrix --dry-run``: the expanded cell list, nothing executed.
+
+    One tab-separated row per cell — cell key, derived seed, timeline digest (``-``
+    for the default timeline) — in expansion order. The output is a pure function of
+    the spec, which is what makes it a reviewable cell-key stability artifact (CI
+    diffs it against a committed copy).
+    """
+    from repro.experiments.matrix import DEFAULT_TIMELINE, derive_cell_seed, timeline_digest
+
+    cells = spec.validate()
+    print(f"dry run: {spec.describe()}", file=sys.stderr)
+    for cell in cells:
+        digest = (
+            "-" if cell.timeline == DEFAULT_TIMELINE else timeline_digest(cell.timeline)
+        )
+        print(f"{cell.key}\t{derive_cell_seed(spec.root_seed, cell.key)}\t{digest}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     runners = _build_runners()
     if args.experiment == "list":
@@ -240,6 +310,8 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     from repro.membership.plugin import all_plugins
 
     if args.list:
+        from repro.workload.timeline import all_timeline_presets
+
         print("registered scenario kinds:")
         for name in sorted(SCENARIOS):
             kind = SCENARIOS[name]
@@ -249,6 +321,11 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         for plugin in all_plugins():
             capabilities = ", ".join(plugin.capability_names())
             print(f"  {plugin.name:<10} [{capabilities}] — {plugin.description}")
+        print("registered timelines (--timelines):")
+        for preset in all_timeline_presets():
+            print(
+                f"  {preset.name:<15} [{preset.timeline.digest}] — {preset.description}"
+            )
         return 0
 
     nat_profiles = (
@@ -275,6 +352,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
                 f"--upnp-fractions must be comma-separated fractions or exactly "
                 f"'paper' (got {','.join(args.upnp_fractions)!r}): {error}"
             ) from None
+    timelines = [_resolve_timeline_value(value) for value in args.timelines]
     spec = MatrixSpec(
         scenarios=args.scenarios,
         protocols=args.protocols,
@@ -289,7 +367,12 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         loss_rates=loss_rates,
         nat_mixtures=args.nat_mixtures,
         upnp_fractions=upnp_fractions,
+        timelines=timelines,
     )
+
+    if args.dry_run:
+        return _dry_run_matrix(spec)
+
     print(f"matrix: {spec.describe()} (workers={args.workers})")
 
     def progress(result, done, total):

@@ -20,6 +20,7 @@ Figure 5 (a, b)            :func:`~repro.experiments.churn.run_churn_experiment`
 Figure 6 (a, b, c)         :func:`~repro.experiments.randomness.run_randomness_experiment`
 Figure 7 (a)               :func:`~repro.experiments.overhead.run_overhead_experiment`
 Figure 7 (b)               :func:`~repro.experiments.catastrophic_failure.run_failure_experiment`
+NAT-class in-degree        :func:`~repro.experiments.nat_indegree.run_nat_indegree_experiment`
 Ablations (DESIGN.md A1-A4) :mod:`~repro.experiments.ablations`
 ========================  ==========================================================
 
@@ -56,6 +57,7 @@ from repro.experiments.history_windows import (
     HistoryWindowResult,
     run_history_window_experiment,
 )
+from repro.experiments.nat_indegree import NatInDegreeResult, run_nat_indegree_experiment
 from repro.experiments.overhead import OverheadExperimentResult, run_overhead_experiment
 from repro.experiments.quick import QuickRunResult, quick_croupier_run
 from repro.experiments.randomness import RandomnessResult, run_randomness_experiment
@@ -77,6 +79,7 @@ __all__ = [
     "HistoryWindowResult",
     "MatrixRunResult",
     "MatrixSpec",
+    "NatInDegreeResult",
     "OverheadExperimentResult",
     "QuickRunResult",
     "RandomnessResult",
@@ -92,6 +95,7 @@ __all__ = [
     "run_failure_experiment",
     "run_history_window_experiment",
     "run_matrix",
+    "run_nat_indegree_experiment",
     "run_overhead_experiment",
     "run_randomness_experiment",
     "run_ratio_sweep_experiment",

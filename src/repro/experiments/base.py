@@ -2,14 +2,19 @@
 
 All of those figures measure the same two quantities — the average and the maximum
 estimation error across nodes, sampled once per gossip round — under different
-workloads. :func:`run_estimation_scenario` factors that loop out: build a Croupier
-scenario, attach the requested join/churn/ratio-growth processes, run round by round
-and record an :class:`~repro.metrics.estimation.EstimationErrorSeries`.
+workloads. Workload dynamics are expressed as a declarative
+:class:`~repro.workload.timeline.Timeline`: :func:`estimation_timeline` translates an
+experiment's knobs (Poisson join ramps, churn, ratio growth) into typed workload
+events, and :func:`run_estimation_scenario` installs that timeline on a Croupier
+scenario and records an :class:`~repro.metrics.estimation.EstimationErrorSeries`
+round by round.
 
 This module also hosts the generic *matrix cell* runner: the experiment-matrix layer
 (:mod:`~repro.experiments.matrix`) executes grids of (protocol, scenario, size, seed)
 cells, and the estimation-style scenario kinds (``static``, ``join``, ``ratio``,
-``churn``) all share :func:`run_estimation_cell`, parameterised by the cell's params.
+``churn``, ``history``, ``overhead``) all share :func:`run_estimation_cell`, which
+compiles the cell's params — plus the cell's ``--timelines`` axis value — into one
+installed timeline.
 """
 
 from __future__ import annotations
@@ -23,10 +28,9 @@ from repro.experiments.matrix import CellContext, measure_cell, register_scenari
 from repro.metrics.estimation import EstimationErrorSeries
 from repro.metrics.payload import MetricPayload
 from repro.metrics.probes import collect_ratio_estimates
-from repro.workload.churn import ChurnProcess
-from repro.workload.join import PoissonJoinProcess
-from repro.workload.ratio import RatioGrowthProcess
+from repro.workload.events import ChurnPhase, PoissonJoin, RatioGrowth
 from repro.workload.scenario import Scenario, ScenarioConfig
+from repro.workload.timeline import Timeline
 
 
 @dataclass
@@ -101,6 +105,52 @@ class EstimationRun:
     summary: Dict[str, float] = field(default_factory=dict)
 
 
+def estimation_timeline(
+    n_public: int,
+    n_private: int,
+    public_interarrival_ms: Optional[float] = None,
+    private_interarrival_ms: Optional[float] = None,
+    churn_fraction: float = 0.0,
+    churn_start_round: float = 0.0,
+    ratio_growth_start_round: Optional[float] = None,
+    ratio_growth_interval_ms: float = 42.0,
+    ratio_growth_count: int = 0,
+) -> Timeline:
+    """The estimation experiments' dynamics as a declarative timeline.
+
+    Event order mirrors the order the imperative harnesses constructed their
+    processes in (public join, private join, churn, ratio growth), so installing
+    the timeline schedules bit-identically to the pre-timeline code. Joins are only
+    part of the timeline when an inter-arrival time is given — instant population
+    stays a :meth:`~repro.workload.Scenario.populate` call, outside the dynamics.
+    """
+    events = []
+    if public_interarrival_ms is not None or private_interarrival_ms is not None:
+        events.append(PoissonJoin(
+            public=True,
+            count=n_public,
+            mean_interarrival_ms=public_interarrival_ms or 1.0,
+        ))
+        if n_private > 0:
+            events.append(PoissonJoin(
+                public=False,
+                count=n_private,
+                mean_interarrival_ms=private_interarrival_ms or 1.0,
+            ))
+    if churn_fraction > 0.0:
+        events.append(ChurnPhase(
+            fraction_per_round=churn_fraction,
+            start_round=float(churn_start_round),
+        ))
+    if ratio_growth_start_round is not None and ratio_growth_count > 0:
+        events.append(RatioGrowth(
+            count=ratio_growth_count,
+            start_round=float(ratio_growth_start_round),
+            interval_ms=ratio_growth_interval_ms,
+        ))
+    return Timeline(tuple(events))
+
+
 def run_estimation_scenario(spec: EstimationExperimentSpec) -> EstimationRun:
     """Run one Croupier scenario under ``spec`` and record the error series round by round."""
     spec.validate()
@@ -119,42 +169,27 @@ def run_estimation_scenario(spec: EstimationExperimentSpec) -> EstimationRun:
         )
     )
 
-    # --- population -------------------------------------------------------------
-    if spec.public_interarrival_ms is None and spec.private_interarrival_ms is None:
+    # --- population & dynamics (as one declarative timeline) ---------------------
+    instant = spec.public_interarrival_ms is None and spec.private_interarrival_ms is None
+    if instant:
         scenario.populate(spec.n_public, spec.n_private)
-    else:
-        public_gap = spec.public_interarrival_ms or 1.0
-        private_gap = spec.private_interarrival_ms or 1.0
-        PoissonJoinProcess(
-            scenario, public=True, count=spec.n_public, mean_interarrival_ms=public_gap
-        )
-        if spec.n_private > 0:
-            PoissonJoinProcess(
-                scenario,
-                public=False,
-                count=spec.n_private,
-                mean_interarrival_ms=private_gap,
-            )
-
-    # --- optional processes -----------------------------------------------------
-    if spec.churn_fraction > 0.0:
-        ChurnProcess(
-            scenario,
-            fraction_per_round=spec.churn_fraction,
-            start_ms=spec.churn_start_round * scenario.round_ms,
-        )
-    if spec.ratio_growth_start_round is not None and spec.ratio_growth_count > 0:
-        RatioGrowthProcess(
-            scenario,
-            start_ms=spec.ratio_growth_start_round * scenario.round_ms,
-            interval_ms=spec.ratio_growth_interval_ms,
-            count=spec.ratio_growth_count,
-        )
+    timeline = estimation_timeline(
+        n_public=spec.n_public,
+        n_private=spec.n_private,
+        public_interarrival_ms=None if instant else spec.public_interarrival_ms,
+        private_interarrival_ms=None if instant else spec.private_interarrival_ms,
+        churn_fraction=spec.churn_fraction,
+        churn_start_round=spec.churn_start_round,
+        ratio_growth_start_round=spec.ratio_growth_start_round,
+        ratio_growth_interval_ms=spec.ratio_growth_interval_ms,
+        ratio_growth_count=spec.ratio_growth_count,
+    )
+    installed = timeline.install(scenario)
 
     # --- measurement loop -------------------------------------------------------
     series = EstimationErrorSeries(name=spec.label)
     for round_index in range(1, spec.rounds + 1):
-        scenario.run_rounds(1)
+        installed.advance_rounds(1)
         if round_index % spec.measure_every_rounds != 0:
             continue
         true_ratio = scenario.true_ratio()
@@ -200,6 +235,11 @@ def run_estimation_cell(ctx: CellContext) -> MetricPayload:
     measure_cell`) plus per-class traffic load over the second half of the run. The
     Croupier-specific config params are ignored for protocols without a matching
     configuration, exactly like the scenario's capability-gated probes.
+
+    The params compile into a declarative :class:`~repro.workload.Timeline` (via
+    :func:`cell_timeline`), extended with the events of the cell's ``--timelines``
+    axis value; boundary events (failure spikes) fire between rounds of the
+    measurement loop.
     """
     cell = ctx.cell
     pss_config = None
@@ -220,55 +260,19 @@ def run_estimation_cell(ctx: CellContext) -> MetricPayload:
             )
 
     n_public, n_private = ctx.n_public, ctx.n_private
-    join_window_ms = cell.param("join_window_ms")
-    if join_window_ms:
+    timeline = cell_timeline(ctx)
+    if cell.param("join_window_ms"):
+        # The join transient is part of the timeline; the scenario starts empty.
         scenario = Scenario(ctx.scenario_config(pss_config=pss_config))
-        PoissonJoinProcess(
-            scenario,
-            public=True,
-            count=n_public,
-            mean_interarrival_ms=float(join_window_ms) / max(1, n_public),
-        )
-        if n_private > 0:
-            PoissonJoinProcess(
-                scenario,
-                public=False,
-                count=n_private,
-                mean_interarrival_ms=float(join_window_ms) / max(1, n_private),
-            )
     else:
         scenario = ctx.populated_scenario(n_public, n_private, pss_config=pss_config)
-
-    churn_fraction = float(cell.param("churn_fraction", 0.0))
-    if churn_fraction > 0.0:
-        churn_start_round = int(cell.param("churn_start_round", 0))
-        if churn_start_round >= cell.rounds:
-            # A churn onset past the simulated horizon would silently measure a static
-            # system under a churn label; fail the cell instead.
-            raise ExperimentError(
-                f"churn_start_round={churn_start_round} is beyond the cell's "
-                f"rounds={cell.rounds}; raise --rounds (the paper starts churn at t=61)"
-            )
-        ChurnProcess(
-            scenario,
-            fraction_per_round=churn_fraction,
-            start_ms=churn_start_round * scenario.round_ms,
-        )
-
-    growth_count = int(cell.param("ratio_growth_count", 0))
-    if growth_count > 0:
-        RatioGrowthProcess(
-            scenario,
-            start_ms=float(cell.param("ratio_growth_start_round", 0)) * scenario.round_ms,
-            interval_ms=float(cell.param("ratio_growth_interval_ms", 42.0)),
-            count=growth_count,
-        )
+    installed = ctx.install_timeline(scenario, base=timeline)
 
     series = EstimationErrorSeries(name=cell.key)
     overhead_window_start = None
     half = max(1, cell.rounds // 2)
     for round_index in range(1, cell.rounds + 1):
-        scenario.run_rounds(1)
+        installed.advance_rounds(1)
         series.record(
             scenario.now,
             scenario.true_ratio(),
@@ -278,6 +282,46 @@ def run_estimation_cell(ctx: CellContext) -> MetricPayload:
             overhead_window_start = scenario.traffic_snapshot()
 
     return measure_cell(scenario, series, overhead_window=overhead_window_start)
+
+
+def cell_timeline(ctx: CellContext) -> Timeline:
+    """Compile an estimation-style cell's params into its base timeline.
+
+    The translation the table in :func:`run_estimation_cell` documents:
+    ``join_window_ms`` becomes two :class:`~repro.workload.PoissonJoin` events,
+    ``churn_*`` a :class:`~repro.workload.ChurnPhase`, ``ratio_growth_*`` a
+    :class:`~repro.workload.RatioGrowth` — in exactly the construction order of the
+    pre-timeline imperative code, so legacy cells replay bit-for-bit.
+    """
+    cell = ctx.cell
+    churn_fraction = float(cell.param("churn_fraction", 0.0))
+    churn_start_round = int(cell.param("churn_start_round", 0))
+    if churn_fraction > 0.0 and churn_start_round >= cell.rounds:
+        # A churn onset past the simulated horizon would silently measure a static
+        # system under a churn label; fail the cell instead.
+        raise ExperimentError(
+            f"churn_start_round={churn_start_round} is beyond the cell's "
+            f"rounds={cell.rounds}; raise --rounds (the paper starts churn at t=61)"
+        )
+    join_window_ms = cell.param("join_window_ms")
+    growth_count = int(cell.param("ratio_growth_count", 0))
+    return estimation_timeline(
+        n_public=ctx.n_public,
+        n_private=ctx.n_private,
+        public_interarrival_ms=(
+            float(join_window_ms) / max(1, ctx.n_public) if join_window_ms else None
+        ),
+        private_interarrival_ms=(
+            float(join_window_ms) / max(1, ctx.n_private) if join_window_ms else None
+        ),
+        churn_fraction=churn_fraction,
+        churn_start_round=churn_start_round,
+        ratio_growth_start_round=(
+            float(cell.param("ratio_growth_start_round", 0)) if growth_count > 0 else None
+        ),
+        ratio_growth_interval_ms=float(cell.param("ratio_growth_interval_ms", 42.0)),
+        ratio_growth_count=growth_count,
+    )
 
 
 register_scenario(

@@ -14,8 +14,9 @@ from typing import Dict, Sequence
 
 from repro.experiments.matrix import CellContext, measure_cell, register_scenario
 from repro.experiments.report import format_table
-from repro.workload.failure import catastrophic_failure
+from repro.workload.events import FailureSpike
 from repro.workload.scenario import Scenario, ScenarioConfig
+from repro.workload.timeline import Timeline
 
 #: Failure percentages on the x-axis of Figure 7(b).
 PAPER_FAILURE_FRACTIONS = (0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
@@ -27,14 +28,18 @@ PAPER_PROTOCOLS = ("croupier", "gozar", "nylon", "cyclon")
 def run_failure_cell(ctx: CellContext) -> Dict[str, float]:
     """One Figure 7(b) matrix cell: warm up, kill a fraction of all nodes, measure.
 
-    The cell's ``rounds`` are the warm-up; the connectivity of the surviving overlay is
-    measured immediately after the failure, exactly as the paper does.
+    The cell's ``rounds`` are the warm-up; its dynamics are a one-event timeline — a
+    :class:`~repro.workload.FailureSpike` at the final round boundary — so the
+    connectivity of the surviving overlay is measured immediately after the failure,
+    exactly as the paper does (and exactly as the pre-timeline imperative cell did).
     """
     cell = ctx.cell
     fraction = float(cell.param("failure_fraction", 0.5))
+    spike = FailureSpike(at_round=float(cell.rounds), fraction=fraction)
     scenario = ctx.populated_scenario()
-    scenario.run_rounds(cell.rounds)
-    outcome = catastrophic_failure(scenario, fraction)
+    installed = ctx.install_timeline(scenario, base=Timeline((spike,)))
+    installed.advance_rounds(cell.rounds)
+    outcome = installed.outcome_of(spike)
     payload = measure_cell(scenario)
     payload.set_scalar("failure_fraction", fraction)
     payload.set_scalar("survivors", float(outcome.survivors))
@@ -91,7 +96,8 @@ def run_failure_experiment(
 
     Failures are destructive, so fractions cannot share a *run* — but they share the
     entire build-and-warm-up prefix (same seed, same population): each protocol is
-    populated and warmed exactly once, and every failure level runs on a
+    populated and warmed exactly once, and every failure level is a one-event
+    timeline suffix (:class:`~repro.workload.FailureSpike`) installed on a
     :meth:`~repro.workload.Scenario.clone` of that warmed system. The clone carries
     the full simulator state, so the outcome per fraction is bit-identical to the
     previous rebuild-per-fraction approach while paying the warm-up once instead of
@@ -114,7 +120,9 @@ def run_failure_experiment(
         per_fraction: Dict[float, float] = {}
         for fraction in failure_fractions:
             scenario = warmed.clone()
-            outcome = catastrophic_failure(scenario, fraction)
-            per_fraction[fraction] = outcome.biggest_cluster_fraction
+            spike = FailureSpike(at_round=float(warmup_rounds), fraction=fraction)
+            installed = Timeline((spike,)).install(scenario)
+            installed.fire_boundary(warmup_rounds)
+            per_fraction[fraction] = installed.outcome_of(spike).biggest_cluster_fraction
         result.clusters[protocol] = per_fraction
     return result

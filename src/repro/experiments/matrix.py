@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.errors import ExperimentError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.membership.plugin import protocol_names
 from repro.metrics.payload import MetricPayload
 from repro.nat.mixture import NAT_MIXTURES
@@ -53,6 +53,20 @@ DEFAULT_LOSS_RATE = 0.0
 #: value names a registered :class:`~repro.nat.mixture.NatMixture`.
 DEFAULT_NAT_MIXTURE = "none"
 DEFAULT_UPNP_FRACTION = 0.0
+#: ``"none"`` = no extra workload dynamics; any other value names a registered
+#: :class:`~repro.workload.timeline.Timeline` whose events are appended to the cell's
+#: own dynamics (the kind's params still build the base timeline).
+DEFAULT_TIMELINE = "none"
+
+
+def timeline_digest(name: str) -> str:
+    """The content digest of the registered timeline ``name`` (what cell keys embed)."""
+    from repro.workload.timeline import get_timeline
+
+    try:
+        return get_timeline(name).digest
+    except ConfigurationError as error:
+        raise ExperimentError(str(error)) from None
 
 #: The paper-setup sweep values for the deployment axes: Section VII runs
 #: restricted-cone gateways as the base case and calls out the cone spectrum through
@@ -86,6 +100,7 @@ class CellSpec:
     loss_rate: float = DEFAULT_LOSS_RATE
     nat_mixture: str = DEFAULT_NAT_MIXTURE
     upnp_fraction: float = DEFAULT_UPNP_FRACTION
+    timeline: str = DEFAULT_TIMELINE
     params: Params = ()
 
     @property
@@ -93,9 +108,11 @@ class CellSpec:
         """Stable identifier: a pure function of the cell's content.
 
         The deployment axes (``nat_profile``, ``loss_rate``, ``nat_mixture``,
-        ``upnp_fraction``) appear only when they differ from the defaults, so cell
-        keys — and the seeds derived from them — from before those axes existed are
-        unchanged.
+        ``upnp_fraction``) and the ``timeline`` axis appear only when they differ
+        from the defaults, so cell keys — and the seeds derived from them — from
+        before those axes existed are unchanged. A non-default timeline is keyed as
+        ``name@digest``: the digest hashes the timeline's canonical JSON, so editing
+        a preset's *content* re-seeds its cells even though the name stays put.
         """
         parts = [
             f"scenario={self.scenario}",
@@ -113,6 +130,8 @@ class CellSpec:
             parts.append(f"nat_mixture={self.nat_mixture}")
         if self.upnp_fraction != DEFAULT_UPNP_FRACTION:
             parts.append(f"upnp_fraction={self.upnp_fraction:g}")
+        if self.timeline != DEFAULT_TIMELINE:
+            parts.append(f"timeline={self.timeline}@{timeline_digest(self.timeline)}")
         parts.extend(f"{name}={value}" for name, value in self.params)
         return ";".join(parts)
 
@@ -152,6 +171,8 @@ class CellSpec:
                 )
         if not 0.0 <= self.upnp_fraction <= 1.0:
             raise ExperimentError(f"upnp_fraction out of range: {self.upnp_fraction}")
+        if self.timeline != DEFAULT_TIMELINE:
+            timeline_digest(self.timeline)  # raises on unknown names
         if self.size <= 0:
             raise ExperimentError("cell size must be positive")
         if self.rounds <= 0:
@@ -186,6 +207,13 @@ class MatrixSpec:
     homogeneous ``nat_profiles`` behaviour) and the fraction of gateways whose NAT
     supports UPnP port mapping (:data:`PAPER_UPNP_FRACTIONS`). Their defaults
     reproduce the pre-axis grids exactly, cell keys included.
+
+    ``timelines`` is the workload-dynamics axis: each value names a registered
+    :class:`~repro.workload.timeline.Timeline` (``repro matrix --list`` shows the
+    presets: ``paper-churn``, ``paper-failure``, ``flash-crowd``, ``diurnal``,
+    ``partition-heal``) whose events are installed on top of the scenario kind's own
+    dynamics. ``"none"`` (the default) adds nothing and keeps every legacy cell key,
+    derived seed and aggregate byte intact.
     """
 
     scenarios: Sequence[str] = ("static",)
@@ -201,6 +229,7 @@ class MatrixSpec:
     loss_rates: Sequence[float] = (DEFAULT_LOSS_RATE,)
     nat_mixtures: Sequence[str] = (DEFAULT_NAT_MIXTURE,)
     upnp_fractions: Sequence[float] = (DEFAULT_UPNP_FRACTION,)
+    timelines: Sequence[str] = (DEFAULT_TIMELINE,)
 
     def validate(self) -> List["CellSpec"]:
         """Validate the axes and every expanded cell; returns the cells so callers
@@ -219,6 +248,8 @@ class MatrixSpec:
             raise ExperimentError("matrix needs at least one NAT mixture (or 'none')")
         if not self.upnp_fractions:
             raise ExperimentError("matrix needs at least one UPnP fraction")
+        if not self.timelines:
+            raise ExperimentError("matrix needs at least one timeline (or 'none')")
         if self.seeds <= 0:
             raise ExperimentError("seeds must be positive")
         if self.rounds <= 0:
@@ -239,8 +270,9 @@ class MatrixSpec:
         """Expand the axes into cells, in a stable, documented order.
 
         Order is scenario → variant → protocol → NAT profile → NAT mixture → UPnP
-        fraction → loss rate → size → seed, exactly as declared; the runner preserves
-        this order in its results regardless of which worker finishes first.
+        fraction → loss rate → timeline → size → seed, exactly as declared; the
+        runner preserves this order in its results regardless of which worker
+        finishes first.
         """
         cells: List[CellSpec] = []
         for scenario_name in self.scenarios:
@@ -255,23 +287,25 @@ class MatrixSpec:
                         for nat_mixture in self.nat_mixtures:
                             for upnp_fraction in self.upnp_fractions:
                                 for loss_rate in self.loss_rates:
-                                    for size in self.sizes:
-                                        for seed_index in range(self.seeds):
-                                            cells.append(
-                                                CellSpec(
-                                                    scenario=scenario_name,
-                                                    protocol=protocol,
-                                                    size=size,
-                                                    seed_index=seed_index,
-                                                    rounds=self.rounds,
-                                                    public_ratio=ratio,
-                                                    nat_profile=nat_profile,
-                                                    loss_rate=float(loss_rate),
-                                                    nat_mixture=nat_mixture,
-                                                    upnp_fraction=float(upnp_fraction),
-                                                    params=_freeze_params(variant),
+                                    for timeline in self.timelines:
+                                        for size in self.sizes:
+                                            for seed_index in range(self.seeds):
+                                                cells.append(
+                                                    CellSpec(
+                                                        scenario=scenario_name,
+                                                        protocol=protocol,
+                                                        size=size,
+                                                        seed_index=seed_index,
+                                                        rounds=self.rounds,
+                                                        public_ratio=ratio,
+                                                        nat_profile=nat_profile,
+                                                        loss_rate=float(loss_rate),
+                                                        nat_mixture=nat_mixture,
+                                                        upnp_fraction=float(upnp_fraction),
+                                                        timeline=timeline,
+                                                        params=_freeze_params(variant),
+                                                    )
                                                 )
-                                            )
         keys = [cell.key for cell in cells]
         if len(set(keys)) != len(keys):
             raise ExperimentError("matrix expansion produced duplicate cell keys")
@@ -292,6 +326,8 @@ class MatrixSpec:
             description += f" × upnp_fractions={list(self.upnp_fractions)}"
         if tuple(self.loss_rates) != (DEFAULT_LOSS_RATE,):
             description += f" × loss_rates={list(self.loss_rates)}"
+        if tuple(self.timelines) != (DEFAULT_TIMELINE,):
+            description += f" × timelines={list(self.timelines)}"
         return description
 
 
@@ -397,16 +433,43 @@ class CellContext:
     def n_private(self) -> int:
         return max(0, self.cell.size - self.n_public)
 
-    def scenario_config(self, pss_config=None):
+    @property
+    def timeline(self):
+        """The cell's axis :class:`~repro.workload.timeline.Timeline` (``None`` for
+        the default ``"none"`` — the value every pre-timeline cell carries)."""
+        if self.cell.timeline == DEFAULT_TIMELINE:
+            return None
+        from repro.workload.timeline import get_timeline
+
+        return get_timeline(self.cell.timeline)
+
+    def install_timeline(self, scenario, base=None):
+        """Install the cell's dynamics onto ``scenario``: the scenario kind's own
+        ``base`` timeline (its params, compiled — may be ``None``) extended with the
+        axis timeline's events. Returns the
+        :class:`~repro.workload.timeline.InstalledTimeline` whose
+        ``fire_boundary(round)`` the measurement loop must call between rounds.
+        """
+        from repro.workload.timeline import Timeline
+
+        timeline = base if base is not None else Timeline()
+        axis = self.timeline
+        if axis is not None:
+            timeline = timeline.extended(*axis.events)
+        return timeline.install(scenario)
+
+    def scenario_config(self, pss_config=None, nat_mixture: Optional[str] = None):
         """The :class:`~repro.workload.ScenarioConfig` this cell prescribes: protocol,
         derived seed, latency, and the deployment axes (NAT profile or mixture, UPnP
-        fraction, loss rate)."""
+        fraction, loss rate). ``nat_mixture`` overrides the cell's mixture axis (the
+        ``nat_indegree`` kind forces the paper mixture on mixture-less cells)."""
         from repro.workload.scenario import ScenarioConfig
 
         cell = self.cell
+        mixture_name = nat_mixture if nat_mixture is not None else cell.nat_mixture
         mixture = (
-            NAT_MIXTURES[cell.nat_mixture]
-            if cell.nat_mixture != DEFAULT_NAT_MIXTURE
+            NAT_MIXTURES[mixture_name]
+            if mixture_name != DEFAULT_NAT_MIXTURE
             else None
         )
         return ScenarioConfig(
@@ -431,13 +494,19 @@ class CellContext:
             return build()
         return self.reuse.pss_config((self.cell.protocol,) + key, build)
 
-    def populated_scenario(self, n_public=None, n_private=None, pss_config=None):
+    def populated_scenario(
+        self, n_public=None, n_private=None, pss_config=None,
+        nat_mixture: Optional[str] = None,
+    ):
         """Build (or clone from the worker cache) this cell's populated scenario.
 
         The build recipe — protocol, derived seed, latency, deployment axes,
         population split and config prototype — fully determines the populated
         scenario, so a cached pristine clone continues exactly like a fresh build
-        and worker counts can never change results.
+        and worker counts can never change results. The cell's timeline is *not*
+        part of the recipe: timelines install onto the returned scenario afterwards,
+        so cells that share a populated prefix and differ only in their timeline
+        suffix share one cached snapshot.
         """
         from repro.workload.scenario import Scenario
 
@@ -447,7 +516,9 @@ class CellContext:
             n_private = self.n_private
 
         def build():
-            scenario = Scenario(self.scenario_config(pss_config=pss_config))
+            scenario = Scenario(
+                self.scenario_config(pss_config=pss_config, nat_mixture=nat_mixture)
+            )
             scenario.populate(n_public=n_public, n_private=n_private)
             return scenario
 
@@ -460,7 +531,7 @@ class CellContext:
             self.latency,
             cell.loss_rate,
             cell.nat_profile,
-            cell.nat_mixture,
+            nat_mixture if nat_mixture is not None else cell.nat_mixture,
             cell.upnp_fraction,
             n_public,
             n_private,

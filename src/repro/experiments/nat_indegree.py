@@ -1,0 +1,161 @@
+"""Symmetric-NAT underrepresentation: the per-NAT-class in-degree figure.
+
+The paper argues that NAT types which are hard to traverse — symmetric NATs above all
+— end up *underrepresented* in the overlay: other nodes hold fewer references to them,
+so they receive fewer shuffles and less of the gossip stream. PR 4 added the raw
+evidence (the ``in_degree_<class>`` histogram breakdown recorded by the graph probe
+whenever a :class:`~repro.nat.mixture.NatMixture` is in play); this module promotes it
+to a first-class experiment: the ``nat_indegree`` matrix kind runs a heterogeneous
+gateway population (the paper's measured mixture unless the cell sweeps its own),
+warms it up and reports each NAT class's mean in-degree *relative to public nodes* —
+``indeg_rel_<class>`` scalars plus the headline ``symmetric_underrepresentation``
+(1 − symmetric/public; ≈0.5 means symmetric-NAT nodes hold about half the public
+in-degree, the paper's claim). ``repro report`` renders the matching
+"NAT-class in-degree" section for any aggregate carrying the breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.experiments.matrix import (
+    DEFAULT_NAT_MIXTURE,
+    CellContext,
+    measure_cell,
+    register_scenario,
+)
+from repro.experiments.report import format_table
+from repro.metrics.payload import MetricPayload
+from repro.nat.mixture import NAT_MIXTURES
+from repro.workload.scenario import Scenario, ScenarioConfig
+
+#: The mixture a cell runs when its ``nat_mixture`` axis is ``"none"`` — the paper's
+#: measured NAT-type distribution, which is the population the claim is about.
+FALLBACK_MIXTURE = "paper"
+
+#: Scalar prefix of the relative in-degree metrics this kind adds.
+RELATIVE_PREFIX = "indeg_rel_"
+
+
+def relative_indegree_scalars(payload: MetricPayload) -> None:
+    """Add ``indeg_rel_<class>`` (mean in-degree over the public mean) and the
+    ``symmetric_underrepresentation`` headline to a payload carrying the per-class
+    ``indeg_mean_<class>`` breakdown. No-op without a public reference class."""
+    public_mean = payload.scalars.get("indeg_mean_public")
+    if not public_mean:
+        return
+    for name in sorted(payload.scalars):
+        if not name.startswith("indeg_mean_") or name == "indeg_mean_public":
+            continue
+        label = name[len("indeg_mean_"):]
+        payload.set_scalar(RELATIVE_PREFIX + label, payload.scalars[name] / public_mean)
+    symmetric = payload.scalars.get("indeg_mean_symmetric")
+    if symmetric is not None:
+        payload.set_scalar("symmetric_underrepresentation", 1.0 - symmetric / public_mean)
+
+
+def run_nat_indegree_cell(ctx: CellContext) -> MetricPayload:
+    """One symmetric-NAT-underrepresentation cell: warm a mixed-NAT population up,
+    then read the per-class in-degree breakdown.
+
+    Cells on the default (``none``) mixture axis run the registered ``paper``
+    mixture — the kind is *about* heterogeneous gateways, so a homogeneous cell
+    would measure nothing; sweeping ``--nat-mixtures`` still works and keys the
+    cells as usual.
+    """
+    cell = ctx.cell
+    mixture = (
+        cell.nat_mixture if cell.nat_mixture != DEFAULT_NAT_MIXTURE else FALLBACK_MIXTURE
+    )
+    scenario = ctx.populated_scenario(nat_mixture=mixture)
+    installed = ctx.install_timeline(scenario)
+    installed.advance_rounds(cell.rounds)
+    payload = measure_cell(scenario)
+    relative_indegree_scalars(payload)
+    return payload
+
+
+register_scenario(
+    "nat_indegree",
+    run_nat_indegree_cell,
+    description="per-NAT-class in-degree breakdown over a mixed gateway population — "
+    "the symmetric-NAT underrepresentation figure (paper mixture unless the "
+    "nat_mixture axis is swept)",
+)
+
+
+@dataclass
+class NatInDegreeResult:
+    """Mean in-degree per NAT class, per protocol (the figure's data)."""
+
+    total_nodes: int
+    rounds: int
+    mixture: str
+    #: protocol -> {nat class -> mean in-degree}
+    class_means: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def relative_to_public(self, protocol: str) -> Dict[str, float]:
+        means = self.class_means.get(protocol, {})
+        public = means.get("public")
+        if not public:
+            return {}
+        return {label: mean / public for label, mean in means.items()}
+
+    def to_text(self) -> str:
+        classes = sorted({c for means in self.class_means.values() for c in means})
+        rows = []
+        for protocol, means in self.class_means.items():
+            public = means.get("public") or 0.0
+            rows.append(
+                [protocol]
+                + [means.get(c) for c in classes]
+                + [
+                    (1.0 - means["symmetric"] / public)
+                    if public and "symmetric" in means
+                    else None
+                ]
+            )
+        headers = ["protocol"] + classes + ["symmetric underrep."]
+        return format_table(
+            headers,
+            rows,
+            title=(
+                "Symmetric-NAT underrepresentation: mean in-degree per NAT class "
+                f"({self.mixture!r} mixture, {self.total_nodes} nodes, "
+                f"{self.rounds} rounds)"
+            ),
+        )
+
+
+def run_nat_indegree_experiment(
+    protocols: Sequence[str] = ("croupier", "gozar", "nylon"),
+    total_nodes: int = 200,
+    public_ratio: float = 0.2,
+    rounds: int = 60,
+    mixture: str = FALLBACK_MIXTURE,
+    seed: int = 42,
+    latency: str = "king",
+) -> NatInDegreeResult:
+    """The figure-level harness behind ``repro run nat-indegree``."""
+    result = NatInDegreeResult(total_nodes=total_nodes, rounds=rounds, mixture=mixture)
+    n_public = max(1, int(round(total_nodes * public_ratio)))
+    n_private = max(0, total_nodes - n_public)
+    for protocol in protocols:
+        scenario = Scenario(
+            ScenarioConfig(
+                protocol=protocol,
+                seed=seed,
+                latency=latency,
+                nat_mixture=NAT_MIXTURES[mixture],
+            )
+        )
+        scenario.populate(n_public=n_public, n_private=n_private)
+        scenario.run_rounds(rounds)
+        payload = measure_cell(scenario)
+        result.class_means[protocol] = {
+            name[len("indeg_mean_"):]: value
+            for name, value in payload.scalars.items()
+            if name.startswith("indeg_mean_")
+        }
+    return result

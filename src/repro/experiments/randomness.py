@@ -52,6 +52,7 @@ def run_randomness_cell(ctx: CellContext) -> MetricPayload:
         scenario = ctx.populated_scenario(n_public=cell.size, n_private=0)
     else:
         scenario = ctx.populated_scenario()
+    installed = ctx.install_timeline(scenario)
 
     measure_every = int(cell.param("measure_every_rounds", 10))
     sources = int(cell.param("path_length_sources", 30))
@@ -61,7 +62,7 @@ def run_randomness_cell(ctx: CellContext) -> MetricPayload:
     executed = 0
     while executed < cell.rounds:
         step = min(measure_every, cell.rounds - executed)
-        scenario.run_rounds(step)
+        installed.advance_rounds(step)
         executed += step
         graph = build_overlay_graph(scenario.overlay_graph())
         path = average_path_length(graph, sample_sources=sources, rng=series_rng)

@@ -178,6 +178,10 @@ def matrix_markdown_summary(aggregate: Mapping) -> str:
             row.append(_fmt(summary["mean"]) if summary else "-")
         lines.append("| " + " | ".join(row) + " |")
 
+    nat_lines = _nat_indegree_section(groups)
+    if nat_lines:
+        lines.extend(nat_lines)
+
     if group_histograms:
         lines.extend(["", "## Histogram payloads (merged across seeds)", ""])
         for group_name, histograms in group_histograms.items():
@@ -191,6 +195,48 @@ def matrix_markdown_summary(aggregate: Mapping) -> str:
         lines.extend(f"- `{key}`" for key in failed)
     lines.append("")
     return "\n".join(lines)
+
+
+def _nat_indegree_section(groups: Mapping) -> List[str]:
+    """The symmetric-NAT underrepresentation section of the matrix summary.
+
+    Rendered for every group whose cells recorded the per-NAT-class in-degree
+    breakdown (``indeg_mean_<class>`` — mixture populations and the ``nat_indegree``
+    kind): one row per NAT class with its mean in-degree relative to public nodes,
+    which is the paper's claim that hard-to-traverse NAT types are underrepresented
+    in views. Groups without the breakdown render nothing, keeping legacy summaries
+    unchanged.
+    """
+    rows: List[List[object]] = []
+    for group_name, metrics in groups.items():
+        class_means = {
+            name[len("indeg_mean_"):]: summary["mean"]
+            for name, summary in metrics.items()
+            if name.startswith("indeg_mean_")
+        }
+        public = class_means.get("public")
+        if not public or len(class_means) < 2:
+            continue
+        for label in sorted(class_means):
+            rows.append(
+                [
+                    f"`{group_name}`",
+                    label,
+                    _fmt(class_means[label]),
+                    f"{class_means[label] / public:.2f}×",
+                ]
+            )
+    if not rows:
+        return []
+    lines = [
+        "",
+        "## NAT-class in-degree (symmetric-NAT underrepresentation)",
+        "",
+        "| group | NAT class | mean in-degree | vs public |",
+        "|---|---|---|---|",
+    ]
+    lines.extend("| " + " | ".join(str(cell) for cell in row) + " |" for row in rows)
+    return lines
 
 
 def comparison_rows(values: Dict[str, Dict[str, float]]) -> List[List[object]]:

@@ -32,11 +32,13 @@ from repro.experiments.matrix import (
     DEFAULT_LOSS_RATE,
     DEFAULT_NAT_MIXTURE,
     DEFAULT_NAT_PROFILE,
+    DEFAULT_TIMELINE,
     DEFAULT_UPNP_FRACTION,
     CellSpec,
     MatrixSpec,
     derive_cell_seed,
     run_cell,
+    timeline_digest,
 )
 from repro.metrics.payload import MetricPayload
 
@@ -273,6 +275,8 @@ def _group_key(cell: CellSpec) -> str:
         parts.append(f"nat_mixture={cell.nat_mixture}")
     if cell.upnp_fraction != DEFAULT_UPNP_FRACTION:
         parts.append(f"upnp_fraction={cell.upnp_fraction:g}")
+    if cell.timeline != DEFAULT_TIMELINE:
+        parts.append(f"timeline={cell.timeline}@{timeline_digest(cell.timeline)}")
     parts.append(f"size={cell.size}")
     return ";".join(parts)
 
@@ -335,12 +339,14 @@ def build_aggregate(spec: MatrixSpec, results: List[CellResult]) -> Dict:
         "nat_profiles": list(spec.nat_profiles),
         "loss_rates": list(spec.loss_rates),
     }
-    # The PR-4 axes appear only when actually swept, so aggregates of pre-axis specs
-    # stay byte-identical to their archived versions.
+    # The PR-4/PR-5 axes appear only when actually swept, so aggregates of pre-axis
+    # specs stay byte-identical to their archived versions.
     if tuple(spec.nat_mixtures) != (DEFAULT_NAT_MIXTURE,):
         spec_section["nat_mixtures"] = list(spec.nat_mixtures)
     if tuple(spec.upnp_fractions) != (DEFAULT_UPNP_FRACTION,):
         spec_section["upnp_fractions"] = list(spec.upnp_fractions)
+    if tuple(spec.timelines) != (DEFAULT_TIMELINE,):
+        spec_section["timelines"] = list(spec.timelines)
 
     return {
         "schema": AGGREGATE_SCHEMA,

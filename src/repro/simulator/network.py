@@ -54,6 +54,11 @@ class Network:
         self._ip_table: Dict[str, Union[Host, "NatGateway"]] = {}
         self._packets_sent = 0
         self._packets_delivered = 0
+        # Optional network split (the workload timeline's Partition event): when set,
+        # packets whose source and destination wire IPs sit on different sides are
+        # dropped. ``None`` — the default, and the only state the paper's experiments
+        # use — costs one identity check per send.
+        self.partition: Optional["NetworkPartition"] = None
 
     # ------------------------------------------------------------------ registration
 
@@ -123,6 +128,12 @@ class Network:
             self.monitor.record_drop("link_loss")
             return
 
+        if self.partition is not None and self.partition.blocks(
+            wire_source.ip, destination.ip
+        ):
+            self.monitor.record_drop("partitioned")
+            return
+
         # parse_ipv4 is memoised, so both lookups are dict hits: no string parsing
         # on the per-packet path.
         delay = self.latency_model.latency(
@@ -183,6 +194,24 @@ class Network:
             f"Network(hosts={len(self._ip_table)}, sent={self._packets_sent}, "
             f"delivered={self._packets_delivered})"
         )
+
+
+class NetworkPartition:
+    """A two-sided network split over wire IPs (installed by the Partition event).
+
+    ``isolated`` holds one side's external IPs (a NAT'ed node's side is decided by
+    its gateway's external IP — the address its packets actually travel under). IPs
+    never assigned to a side (e.g. nodes that joined after the split) are treated as
+    the majority side, so a partition only ever blocks traffic it explicitly named.
+    """
+
+    __slots__ = ("isolated",)
+
+    def __init__(self, isolated) -> None:
+        self.isolated = frozenset(isolated)
+
+    def blocks(self, source_ip: str, destination_ip: str) -> bool:
+        return (source_ip in self.isolated) != (destination_ip in self.isolated)
 
 
 class NatGateway:

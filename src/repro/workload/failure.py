@@ -1,4 +1,10 @@
-"""Catastrophic failure: a large fraction of nodes disappears at one instant (Fig. 7b)."""
+"""Catastrophic failure: a large fraction of nodes disappears at one instant (Fig. 7b).
+
+:func:`catastrophic_failure` is what the declarative
+:class:`~repro.workload.events.FailureSpike` timeline event applies when the
+measurement loop crosses its round boundary
+(:meth:`~repro.workload.timeline.InstalledTimeline.fire_boundary`).
+"""
 
 from __future__ import annotations
 

@@ -4,10 +4,15 @@ Section VII-B: "1000 public nodes and 4000 private nodes join the system followi
 Poisson distribution with an inter-arrival time of 50 and 12.5 milliseconds". A Poisson
 arrival process has exponentially distributed inter-arrival times, which is what this
 module schedules on the scenario's simulator.
+
+:class:`PoissonJoinProcess` is the execution engine of the declarative
+:class:`~repro.workload.events.PoissonJoin` timeline event — experiments describe
+arrivals as timeline data (:mod:`repro.workload.timeline`).
 """
 
 from __future__ import annotations
 
+import random
 from typing import Optional
 
 from repro.errors import ExperimentError
@@ -29,6 +34,12 @@ class PoissonJoinProcess:
         Mean of the exponential inter-arrival time.
     start_ms:
         Virtual time of the first possible arrival (arrivals accumulate from here).
+    rng:
+        Random stream drawing the inter-arrival times. ``None`` (the default, and
+        what every single-process-per-class setup uses) derives the canonical
+        ``("join", <class>)`` stream from the scenario seed; timelines running
+        *several* join processes of the same class pass distinct derived streams so
+        the processes stay independent.
     """
 
     def __init__(
@@ -38,6 +49,7 @@ class PoissonJoinProcess:
         count: int,
         mean_interarrival_ms: float,
         start_ms: float = 0.0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if count < 0:
             raise ExperimentError(f"count must be non-negative, got {count}")
@@ -51,7 +63,9 @@ class PoissonJoinProcess:
         self.mean_interarrival_ms = mean_interarrival_ms
         self.start_ms = start_ms
         self.joined = 0
-        self.rng = scenario.sim.derive_rng("join", "public" if public else "private")
+        self.rng = rng or scenario.sim.derive_rng(
+            "join", "public" if public else "private"
+        )
         self._schedule_arrivals()
 
     def _schedule_arrivals(self) -> None:

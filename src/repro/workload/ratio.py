@@ -5,7 +5,8 @@ The paper's dynamic-ratio experiment joins 1000 public and 4000 private nodes (r
 waits a few rounds, and then adds one new public node every 42 ms until the ratio has
 risen by a few points, after which it stays constant. :class:`RatioGrowthProcess`
 generalises that: add ``count`` public nodes at a fixed interval starting at a given
-time.
+time. It is the execution engine of the declarative
+:class:`~repro.workload.events.RatioGrowth` timeline event.
 """
 
 from __future__ import annotations
