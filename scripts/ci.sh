@@ -3,8 +3,10 @@
 # run the tier-1 tests, the <=60s bench smoke, a mini experiment-matrix whose
 # aggregate must be byte-identical between a 4-worker and a 1-worker run AND to the
 # committed baseline aggregate, a workload-timeline mini-matrix with the same
-# 4-vs-1 parity, a `--dry-run` cell-key stability diff, and a cross-PR regression
-# diff against the committed baseline.
+# 4-vs-1 parity, a `--dry-run` cell-key stability diff, a chaos smoke (injected
+# worker crashes/hangs/corruption must recover to the identical bytes), a
+# kill-and-resume smoke (truncated journal + --resume must rebuild the identical
+# bytes), and a cross-PR regression diff against the committed baseline.
 #
 #   ./scripts/ci.sh
 #
@@ -83,6 +85,33 @@ echo "== cell-key stability: dry-run vs committed cell list =="
   python -m repro matrix "${TIMELINE_ARGS[@]}" --dry-run; } 2>/dev/null \
     | diff - artifacts/baseline/matrix_cells.txt
 echo "cell keys OK: keys, seeds and timeline digests match the committed list"
+
+echo
+echo "== chaos smoke: injected crashes/hangs/corruption, byte-parity with baseline =="
+# Every cell suffers at most one seed-derived fault and is retried on a fresh
+# worker; the recovered aggregate must be byte-identical to the committed
+# baseline — fault tolerance may never change results, only survive faults.
+python -m repro matrix "${MATRIX_ARGS[@]}" --workers 2 \
+    --chaos 'seed=7,crash=0.3,hang=0.1,corrupt=0.3' --cell-timeout 20 \
+    --heartbeat 0 --out artifacts/ci-matrix-chaos
+cmp artifacts/baseline/matrix_aggregate.json \
+    artifacts/ci-matrix-chaos/matrix_aggregate.json
+echo "chaos OK: aggregate recovered byte-identical under injected faults"
+
+echo
+echo "== resume smoke: truncated journal --resume, byte-parity with baseline =="
+# Simulate a mid-run kill: keep the journal header plus the first five cell
+# records (the sixth truncated mid-write), resume in place, and require the
+# rebuilt aggregate to match the committed baseline byte for byte.
+JOURNAL=artifacts/ci-matrix-w1/matrix_journal.jsonl
+{ head -n 6 "$JOURNAL"; tail -n +7 "$JOURNAL" | head -c 25; } \
+    > artifacts/ci-matrix-resume.jsonl
+python -m repro matrix "${MATRIX_ARGS[@]}" --workers 2 \
+    --resume artifacts/ci-matrix-resume.jsonl \
+    --heartbeat 0 --out artifacts/ci-matrix-resumed
+cmp artifacts/baseline/matrix_aggregate.json \
+    artifacts/ci-matrix-resumed/matrix_aggregate.json
+echo "resume OK: killed-then-resumed aggregate is byte-identical to the baseline"
 
 echo
 echo "== baseline gate: cross-PR diff against the committed aggregate =="

@@ -182,6 +182,55 @@ def build_parser() -> argparse.ArgumentParser:
     matrix.add_argument("--workers", type=int, default=1)
     matrix.add_argument("--out", type=Path, default=Path("artifacts/matrix"))
     matrix.add_argument(
+        "--journal",
+        type=Path,
+        default=None,
+        help="cell-result journal path (default: <out>/matrix_journal.jsonl); "
+        "terminal cells are appended as they complete so a killed run can --resume",
+    )
+    matrix.add_argument(
+        "--resume",
+        type=Path,
+        default=None,
+        metavar="JOURNAL",
+        help="resume from a journal written by a previous (killed) run of the same "
+        "spec: journalled ok/failed cells replay, only the rest execute; the "
+        "rebuilt aggregate is byte-identical to an uninterrupted run",
+    )
+    matrix.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection: 'seed=7,crash=0.2,hang=0.1,corrupt=0.2' "
+        "or a repro-faultplan-v1 JSON file; same spec → same injection schedule",
+    )
+    matrix.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell watchdog budget overriding the scenario kinds' defaults "
+        "(0 disables timeouts; needs --workers > 1 — the in-process executor "
+        "cannot interrupt itself)",
+    )
+    matrix.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="total attempts per cell for transient worker faults (crash, timeout, "
+        "corruption) before the cell degrades; deterministic cell exceptions are "
+        "never retried (default 3)",
+    )
+    matrix.add_argument(
+        "--heartbeat",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="progress-heartbeat interval on stderr (cells done/failed/retried, "
+        "ETA); 0 disables (default 30)",
+    )
+    matrix.add_argument(
         "--list", action="store_true", help="list registered scenario kinds and exit"
     )
     matrix.add_argument(
@@ -222,6 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.1,
         help="Kolmogorov–Smirnov distance tolerated by --diff on per-group "
         "histograms, e.g. the in-degree distributions (default 0.1)",
+    )
+    report.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when the rendered aggregate contains degraded or failed cells "
+        "(degraded = transient-fault retries exhausted)",
     )
 
     return parser
@@ -373,17 +428,60 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     if args.dry_run:
         return _dry_run_matrix(spec)
 
-    print(f"matrix: {spec.describe()} (workers={args.workers})")
+    from repro.experiments.faults import FaultPlan, RetryPolicy
+
+    fault_plan = FaultPlan.parse(args.chaos) if args.chaos else None
+    retry = RetryPolicy(max_attempts=max(1, args.retries))
+    journal_path = args.journal
+    if journal_path is None:
+        journal_path = (
+            args.resume if args.resume is not None
+            else args.out / "matrix_journal.jsonl"
+        )
+
+    extras = [f"workers={args.workers}"]
+    if fault_plan is not None:
+        extras.append(fault_plan.describe())
+    if args.resume is not None:
+        extras.append(f"resume={args.resume}")
+    print(f"matrix: {spec.describe()} ({', '.join(extras)})")
 
     def progress(result, done, total):
-        status = "ok" if result.ok else "FAILED"
-        print(f"  [{done}/{total}] {status}  {result.key}  ({result.duration_s:.1f}s)")
+        status = {"ok": "ok", "failed": "FAILED", "degraded": "DEGRADED"}[result.status]
+        retried = f" after {result.attempts} attempts" if result.attempts > 1 else ""
+        print(
+            f"  [{done}/{total}] {status}  {result.key}  "
+            f"({result.duration_s:.1f}s{retried})"
+        )
 
-    run = run_matrix(spec, workers=args.workers, progress=progress)
+    run = run_matrix(
+        spec,
+        workers=args.workers,
+        progress=progress,
+        retry=retry,
+        fault_plan=fault_plan,
+        cell_timeout_s=args.cell_timeout,
+        journal_path=journal_path,
+        resume_from=args.resume,
+        heartbeat_s=args.heartbeat if args.heartbeat and args.heartbeat > 0 else None,
+    )
     paths = write_artifacts(run, args.out)
-    print(f"wall time: {run.wall_seconds:.1f}s, failed cells: {len(run.failed)}")
+    print(
+        f"wall time: {run.wall_seconds:.1f}s, failed cells: {len(run.failed)}, "
+        f"degraded cells: {len(run.degraded)}, retries: {run.retries}"
+        + (f", resumed: {run.resumed}" if run.resumed else "")
+    )
+    print(f"  journal: {journal_path}")
     for label, path in sorted(paths.items()):
         print(f"  {label}: {path}")
+    if run.degraded:
+        for result in run.degraded:
+            print(f"DEGRADED {result.key}: {result.error}", file=sys.stderr)
+        print(
+            f"warning: {len(run.degraded)} cell(s) degraded — aggregate is "
+            "incomplete (repro report --strict gates on this)",
+            file=sys.stderr,
+        )
     if run.failed:
         for result in run.failed:
             print(f"FAILED {result.key}:\n{result.error}", file=sys.stderr)
@@ -466,6 +564,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         print(summary)
+    if args.strict:
+        degraded = aggregate.get("degraded", {})
+        failed = aggregate.get("failed", [])
+        if degraded or failed:
+            print(
+                f"STRICT: aggregate has {len(failed)} failed and {len(degraded)} "
+                "degraded cell(s)",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

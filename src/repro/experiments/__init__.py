@@ -50,7 +50,14 @@ from repro.experiments.matrix import (
     register_scenario,
     scenario_names,
 )
-from repro.experiments.runner import MatrixRunResult, run_matrix, write_artifacts
+from repro.experiments.checkpoint import JournalWriter, load_journal, spec_digest
+from repro.experiments.faults import FaultPlan, RetryPolicy, payload_digest
+from repro.experiments.runner import (
+    CellResult,
+    MatrixRunResult,
+    run_matrix,
+    write_artifacts,
+)
 from repro.experiments.catastrophic_failure import FailureExperimentResult, run_failure_experiment
 from repro.experiments.churn import ChurnExperimentResult, run_churn_experiment
 from repro.experiments.history_windows import (
@@ -71,12 +78,15 @@ __all__ = [
     "PAPER_NAT_PROFILES",
     "PAPER_UPNP_FRACTIONS",
     "CellContext",
+    "CellResult",
     "CellSpec",
     "ChurnExperimentResult",
     "EstimationExperimentSpec",
     "EstimationRun",
     "FailureExperimentResult",
+    "FaultPlan",
     "HistoryWindowResult",
+    "JournalWriter",
     "MatrixRunResult",
     "MatrixSpec",
     "NatInDegreeResult",
@@ -84,9 +94,12 @@ __all__ = [
     "QuickRunResult",
     "RandomnessResult",
     "RatioSweepResult",
+    "RetryPolicy",
     "SystemSizeResult",
     "derive_cell_seed",
+    "load_journal",
     "measure_cell",
+    "payload_digest",
     "quick_croupier_run",
     "register_scenario",
     "run_churn_experiment",
@@ -101,5 +114,6 @@ __all__ = [
     "run_ratio_sweep_experiment",
     "run_system_size_experiment",
     "scenario_names",
+    "spec_digest",
     "write_artifacts",
 ]

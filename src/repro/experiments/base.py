@@ -184,7 +184,7 @@ def run_estimation_scenario(spec: EstimationExperimentSpec) -> EstimationRun:
         ratio_growth_interval_ms=spec.ratio_growth_interval_ms,
         ratio_growth_count=spec.ratio_growth_count,
     )
-    installed = timeline.install(scenario)
+    installed = timeline.install(scenario, horizon_rounds=spec.rounds)
 
     # --- measurement loop -------------------------------------------------------
     series = EstimationErrorSeries(name=spec.label)

@@ -1,0 +1,263 @@
+"""Fault model of the matrix runner: classification, retry policy and chaos injection.
+
+Long matrix runs die three ways the cell code itself never sees: a worker process is
+killed (OOM, a segfaulting extension, an operator), a worker hangs (a deadlock, a
+pathological cell), or a result is mangled on its way back. This module gives the
+runner a vocabulary for those *worker-level* faults — as opposed to deterministic
+cell exceptions, which reproduce identically on every attempt and must never be
+retried — plus two deterministic tools around them:
+
+* a :class:`RetryPolicy` with capped exponential backoff and seed-derived jitter, so
+  reschedule times are reproducible for a fixed root seed;
+* a :class:`FaultPlan` — a serializable chaos spec (``repro matrix --chaos``) whose
+  injection decisions are a pure function of ``(plan seed, cell key, attempt)``, so
+  the same plan replays the same crashes, hangs and corruptions every time. Because
+  cell results are pure functions of the cell key and derived seed, a chaos run that
+  recovers every cell must produce a byte-identical aggregate to a fault-free run —
+  which is exactly what the CI chaos smoke asserts against the committed baseline.
+
+Worker-fault kinds the runner records (:data:`FAULT_KINDS`):
+
+``crash``
+    The worker process died without returning a result (observed via its sentinel).
+``timeout``
+    The cell exceeded its wall-clock budget and the watchdog killed the worker.
+``corruption``
+    The returned payload failed its integrity digest (:func:`payload_digest` is
+    computed worker-side over the canonical payload JSON and re-checked by the
+    parent, so wire corruption is caught, not aggregated).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.errors import ExperimentError
+from repro.simulator.core import derive_seed
+
+#: Parent-side classification of worker-level faults (what retry histories record).
+FAULT_CRASH = "crash"
+FAULT_TIMEOUT = "timeout"
+FAULT_CORRUPTION = "corruption"
+FAULT_KINDS = (FAULT_CRASH, FAULT_TIMEOUT, FAULT_CORRUPTION)
+
+#: Injection kinds a :class:`FaultPlan` can draw (how they manifest differs between
+#: pool workers — real process death / real sleeps — and the in-process sequential
+#: executor, which simulates them; the parent classifies both identically).
+INJECT_CRASH = "crash"
+INJECT_HANG = "hang"
+INJECT_CORRUPT = "corrupt"
+
+#: Schema tag of a JSON fault-plan document.
+FAULT_PLAN_SCHEMA = "repro-faultplan-v1"
+
+#: Exit code an injected crash kills the worker process with (diagnosable in logs).
+CHAOS_EXIT_CODE = 43
+
+
+def payload_digest(payload_json: Dict) -> str:
+    """Integrity digest of a cell's payload, over its canonical JSON bytes.
+
+    Computed by the worker right after measurement and re-computed by the parent on
+    receipt; a mismatch classifies the attempt as ``corruption`` and the cell is
+    retried instead of a mangled payload silently entering the aggregate.
+    """
+    canonical = json.dumps(payload_json, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient worker faults are retried.
+
+    ``max_attempts`` is the total number of attempts a cell gets (1 = never retry);
+    the delay before attempt *n* (n ≥ 2) is ``base_delay_s * 2**(n-2)`` capped at
+    ``max_delay_s``, stretched by up to ``jitter`` (relative) drawn from a stream
+    derived from the root seed and the cell key — deterministic for a fixed spec, so
+    two resumed runs reschedule identically. Deterministic cell exceptions are never
+    retried under any policy: they would fail identically forever.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ExperimentError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ExperimentError("retry delays must be non-negative")
+        if self.jitter < 0:
+            raise ExperimentError(f"jitter must be non-negative, got {self.jitter}")
+
+    def delay_s(self, root_seed: int, cell_key: str, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based count of failed tries)."""
+        base = min(self.max_delay_s, self.base_delay_s * (2 ** max(0, attempt - 1)))
+        if base <= 0 or self.jitter <= 0:
+            return base
+        stretch = random.Random(
+            derive_seed(root_seed, "retry-jitter", cell_key, attempt)
+        ).random()
+        return base * (1.0 + self.jitter * stretch)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic chaos schedule for the matrix runner (``--chaos``).
+
+    Each execution attempt of each cell draws once from a stream derived from
+    ``(seed, cell key, attempt)``; the draw picks an injected fault (or none) by the
+    configured rates. Injections stop after ``max_faults_per_cell`` attempts of a
+    cell, so any retry policy with ``max_attempts > max_faults_per_cell`` is
+    *guaranteed* to recover every cell — the property that makes chaos runs
+    byte-comparable to fault-free baselines in CI.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    #: How long an injected hang sleeps (it is the watchdog's job to cut it short).
+    hang_s: float = 3600.0
+    max_faults_per_cell: int = 1
+
+    def validate(self) -> None:
+        for name in ("crash_rate", "hang_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ExperimentError(f"{name} out of range: {rate}")
+        if self.crash_rate + self.hang_rate + self.corrupt_rate > 1.0:
+            raise ExperimentError("fault rates must sum to at most 1.0")
+        if self.hang_s <= 0:
+            raise ExperimentError(f"hang_s must be positive, got {self.hang_s}")
+        if self.max_faults_per_cell < 0:
+            raise ExperimentError(
+                f"max_faults_per_cell must be non-negative: {self.max_faults_per_cell}"
+            )
+
+    def draw(self, cell_key: str, attempt: int) -> Optional[str]:
+        """The fault injected into execution ``attempt`` (0-based) of ``cell_key`` —
+        ``"crash"``, ``"hang"``, ``"corrupt"`` or ``None``. Pure function of the plan
+        and its arguments: the same plan yields the same injection schedule."""
+        if attempt >= self.max_faults_per_cell:
+            return None
+        roll = random.Random(derive_seed(self.seed, "chaos", cell_key, attempt)).random()
+        if roll < self.crash_rate:
+            return INJECT_CRASH
+        if roll < self.crash_rate + self.hang_rate:
+            return INJECT_HANG
+        if roll < self.crash_rate + self.hang_rate + self.corrupt_rate:
+            return INJECT_CORRUPT
+        return None
+
+    def corrupt_payload(self, payload_json: Dict) -> Dict:
+        """A deterministically mangled copy of a payload (injected *after* the
+        integrity digest is computed, so the parent's check must catch it)."""
+        corrupted = json.loads(json.dumps(payload_json))
+        scalars = corrupted.setdefault("scalars", {})
+        scalars["__chaos_corruption__"] = 1.0
+        return corrupted
+
+    # ------------------------------------------------------------------ serialization
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "schema": FAULT_PLAN_SCHEMA,
+            "seed": self.seed,
+            "crash_rate": self.crash_rate,
+            "hang_rate": self.hang_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "hang_s": self.hang_s,
+            "max_faults_per_cell": self.max_faults_per_cell,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        payload = dict(data)
+        schema = payload.pop("schema", FAULT_PLAN_SCHEMA)
+        if schema != FAULT_PLAN_SCHEMA:
+            raise ExperimentError(
+                f"unknown fault-plan schema {schema!r}; expected {FAULT_PLAN_SCHEMA!r}"
+            )
+        try:
+            plan = cls(**payload)  # type: ignore[arg-type]
+        except TypeError as error:
+            raise ExperimentError(f"bad fault-plan fields: {error}") from None
+        plan.validate()
+        return plan
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from a CLI ``--chaos`` value.
+
+        A value naming an existing file (or ending in ``.json``) is read as a JSON
+        fault-plan document; anything else is a compact ``key=value`` list, e.g.
+        ``"seed=7,crash=0.2,hang=0.1,corrupt=0.2"`` (keys: ``seed``, ``crash``,
+        ``hang``, ``corrupt``, ``hang_s``, ``max_faults``).
+        """
+        path = Path(text)
+        if text.endswith(".json") or path.exists():
+            if not path.exists():
+                raise ExperimentError(f"fault-plan file not found: {path}")
+            try:
+                data = json.loads(path.read_text())
+            except json.JSONDecodeError as error:
+                raise ExperimentError(
+                    f"fault-plan file {path} is not valid JSON: {error}"
+                ) from None
+            if not isinstance(data, dict):
+                raise ExperimentError(f"fault-plan file {path} must hold a JSON object")
+            return cls.from_json_dict(data)
+
+        aliases = {
+            "crash": "crash_rate",
+            "hang": "hang_rate",
+            "corrupt": "corrupt_rate",
+            "seed": "seed",
+            "hang_s": "hang_s",
+            "hang-s": "hang_s",
+            "max_faults": "max_faults_per_cell",
+            "max-faults": "max_faults_per_cell",
+        }
+        fields: Dict[str, object] = {}
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ExperimentError(
+                    f"bad --chaos entry {item!r}; expected key=value pairs "
+                    f"(keys: {', '.join(sorted(set(aliases)))}) or a JSON file path"
+                )
+            key, _, raw = item.partition("=")
+            field = aliases.get(key.strip())
+            if field is None:
+                raise ExperimentError(
+                    f"unknown --chaos key {key.strip()!r}; expected one of "
+                    f"{sorted(set(aliases))}"
+                )
+            try:
+                value: object = (
+                    int(raw) if field in ("seed", "max_faults_per_cell") else float(raw)
+                )
+            except ValueError:
+                raise ExperimentError(
+                    f"bad --chaos value for {key.strip()!r}: {raw!r}"
+                ) from None
+            fields[field] = value
+        plan = cls(**fields)  # type: ignore[arg-type]
+        plan.validate()
+        return plan
+
+    def describe(self) -> str:
+        return (
+            f"chaos(seed={self.seed}, crash={self.crash_rate:g}, "
+            f"hang={self.hang_rate:g}, corrupt={self.corrupt_rate:g}, "
+            f"max_faults_per_cell={self.max_faults_per_cell})"
+        )

@@ -311,6 +311,31 @@ class MatrixSpec:
             raise ExperimentError("matrix expansion produced duplicate cell keys")
         return cells
 
+    def spec_json_dict(self) -> Dict[str, object]:
+        """The spec's canonical JSON form — the aggregate's ``spec`` section and the
+        basis of journal spec digests. Axes left at their defaults are omitted, so
+        pre-axis specs serialise exactly as they always have."""
+        section: Dict[str, object] = {
+            "scenarios": list(self.scenarios),
+            "protocols": list(self.protocols),
+            "sizes": list(self.sizes),
+            "seeds": self.seeds,
+            "rounds": self.rounds,
+            "public_ratio": self.public_ratio,
+            "root_seed": self.root_seed,
+            "latency": self.latency,
+            "variants": self.variants,
+            "nat_profiles": list(self.nat_profiles),
+            "loss_rates": list(self.loss_rates),
+        }
+        if tuple(self.nat_mixtures) != (DEFAULT_NAT_MIXTURE,):
+            section["nat_mixtures"] = list(self.nat_mixtures)
+        if tuple(self.upnp_fractions) != (DEFAULT_UPNP_FRACTION,):
+            section["upnp_fractions"] = list(self.upnp_fractions)
+        if tuple(self.timelines) != (DEFAULT_TIMELINE,):
+            section["timelines"] = list(self.timelines)
+        return section
+
     def describe(self) -> str:
         cells = self.cells()
         description = (
@@ -343,6 +368,11 @@ class ScenarioKind:
     are still accepted and adapted). ``paper_variants`` are the sweep points of the
     figure the kind reproduces (each a params dict); ``default_params`` is the single
     variant used when the matrix doesn't ask for the full paper sweep.
+
+    ``timeout_s`` is the kind's default per-cell wall-clock budget under the matrix
+    runner's watchdog (``None`` = the runner-wide default; ``repro matrix
+    --cell-timeout`` overrides both). A cell past its budget is classified as a
+    ``timeout`` fault, its worker killed, and the cell retried on a fresh one.
     """
 
     name: str
@@ -350,6 +380,7 @@ class ScenarioKind:
     description: str = ""
     default_params: Tuple[Tuple[str, ParamValue], ...] = ()
     paper_variants: Tuple[Params, ...] = ()
+    timeout_s: Optional[float] = None
 
     def expand_variants(self, mode: str) -> List[Params]:
         if mode == "paper" and self.paper_variants:
@@ -370,6 +401,7 @@ def register_scenario(
     default_params: Optional[Mapping[str, ParamValue]] = None,
     paper_variants: Optional[Sequence[Mapping[str, ParamValue]]] = None,
     replace: bool = False,
+    timeout_s: Optional[float] = None,
 ) -> ScenarioKind:
     """Register a scenario kind under ``name`` (used by experiment modules and tests).
 
@@ -387,6 +419,7 @@ def register_scenario(
         description=description,
         default_params=_freeze_params(default_params or {}),
         paper_variants=tuple(_freeze_params(v) for v in (paper_variants or ())),
+        timeout_s=timeout_s,
     )
     SCENARIOS[name] = kind
     return kind
@@ -456,7 +489,9 @@ class CellContext:
         axis = self.timeline
         if axis is not None:
             timeline = timeline.extended(*axis.events)
-        return timeline.install(scenario)
+        # The cell's measured rounds are the horizon: events starting past it would
+        # silently never fire, so install() warns about them.
+        return timeline.install(scenario, horizon_rounds=self.cell.rounds)
 
     def scenario_config(self, pss_config=None, nat_mixture: Optional[str] = None):
         """The :class:`~repro.workload.ScenarioConfig` this cell prescribes: protocol,

@@ -142,6 +142,7 @@ def matrix_markdown_summary(aggregate: Mapping) -> str:
     spec = aggregate.get("spec", {})
     groups = aggregate.get("groups", {})
     failed = aggregate.get("failed", [])
+    degraded = aggregate.get("degraded", {})
     total_cells = len(aggregate.get("cells", {}))
 
     headline = (
@@ -160,7 +161,8 @@ def matrix_markdown_summary(aggregate: Mapping) -> str:
         f"- sizes: {', '.join(str(s) for s in spec.get('sizes', []))}"
         f" × seeds: {spec.get('seeds', '?')} × rounds: {spec.get('rounds', '?')}",
         f"- root seed: {spec.get('root_seed', '?')}, latency: {spec.get('latency', '?')}",
-        f"- cells: {total_cells} total, {len(failed)} failed",
+        f"- cells: {total_cells} total, {len(failed)} failed"
+        + (f", {len(degraded)} degraded" if degraded else ""),
         "",
         "## Groups (mean over seeds)",
         "",
@@ -193,6 +195,15 @@ def matrix_markdown_summary(aggregate: Mapping) -> str:
     if failed:
         lines.extend(["", "## Failed cells", ""])
         lines.extend(f"- `{key}`" for key in failed)
+
+    if degraded:
+        lines.extend(["", "## Degraded cells (transient-fault retries exhausted)", ""])
+        for key in sorted(degraded):
+            entry = degraded[key]
+            faults = ", ".join(entry.get("faults", [])) or "?"
+            lines.append(
+                f"- `{key}` — {entry.get('attempts', '?')} attempts, faults: {faults}"
+            )
     lines.append("")
     return "\n".join(lines)
 
@@ -538,8 +549,10 @@ def diff_aggregates(
         for name in sorted(old_histograms[group])
     )
 
-    old_failed = set(old.get("failed", []))
-    new_failed = set(new.get("failed", []))
+    # Degraded cells (transient-fault retries exhausted) count as failed for gating:
+    # either way the cell contributed no data to NEW that OLD had.
+    old_failed = set(old.get("failed", [])) | set(old.get("degraded", {}))
+    new_failed = set(new.get("failed", [])) | set(new.get("degraded", {}))
     diff.newly_failed_cells = sorted(new_failed - old_failed)
     diff.recovered_cells = sorted(old_failed - new_failed)
     return diff

@@ -80,6 +80,18 @@ class WorkloadEvent:
         """The round boundary this event fires at (``None`` for scheduled events)."""
         return None
 
+    @property
+    def onset_round(self) -> Optional[float]:
+        """The round at which this event first acts — ``at_round`` for boundary
+        events, ``start_round`` for scheduled ones (``None`` when the event carries
+        neither). :meth:`Timeline.install` compares this against the cell's
+        measurement horizon to warn about events that could never fire."""
+        boundary = self.boundary_round
+        if boundary is not None:
+            return boundary
+        start = getattr(self, "start_round", getattr(self, "at_round", None))
+        return float(start) if start is not None else None
+
     def apply(self, scenario: Scenario) -> Optional[object]:
         """Execute a boundary event; returns its outcome object."""
         raise ExperimentError(f"event {self.type!r} is not a boundary event")

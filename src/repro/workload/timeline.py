@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -150,15 +151,39 @@ class Timeline:
 
     # ------------------------------------------------------------------ installation
 
-    def install(self, scenario: Scenario) -> "InstalledTimeline":
+    def install(
+        self, scenario: Scenario, horizon_rounds: Optional[float] = None
+    ) -> "InstalledTimeline":
         """Compile this timeline onto ``scenario``.
 
         Scheduled events compile immediately, in timeline order (so two installs of
         the same timeline schedule identically — the determinism the matrix parity
         gate relies on); boundary events are collected for the caller's measurement
         loop to fire via :meth:`InstalledTimeline.fire_boundary`.
+
+        ``horizon_rounds`` is the caller's measurement horizon (a cell's ``rounds``).
+        When given, any event whose onset lies beyond it draws a ``UserWarning``:
+        the event would silently never fire — the footgun behind every
+        "why is my churn timeline a no-op at rounds=30" report. Boundary events at
+        *exactly* the horizon still fire (:meth:`InstalledTimeline.fire_boundary`
+        is inclusive), so only strictly-later onsets warn for them; scheduled events
+        starting at or past the horizon never act, so both warn.
         """
         self.validate()
+        if horizon_rounds is not None:
+            for event in self.events:
+                onset = event.onset_round
+                if onset is None:
+                    continue
+                is_boundary = event.boundary_round is not None
+                if onset > horizon_rounds or (not is_boundary and onset >= horizon_rounds):
+                    warnings.warn(
+                        f"timeline event {event.type!r} starts at round {onset:g}, "
+                        f"beyond the measurement horizon of {horizon_rounds:g} "
+                        "rounds — it will never fire",
+                        UserWarning,
+                        stacklevel=2,
+                    )
         processes: List[object] = []
         boundary: List[Tuple[float, int, WorkloadEvent]] = []
         for index, event in enumerate(self.events):
