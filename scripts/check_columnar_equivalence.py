@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Gate the columnar engine against the object backend on one mixed aggregate.
+
+Reads a ``matrix_aggregate.json`` produced with ``--engines object,columnar``,
+pairs every columnar cell group with its object twin (same group key minus the
+``engine=columnar`` part), and requires:
+
+* both engines measured estimates (``est_mean`` present on both sides);
+* the group-mean estimates agree within ``--tolerance`` (absolute);
+* both engines' converged average errors stay below ``--max-error``.
+
+The two engines are *statistically* equivalent, not bit-identical: the columnar
+engine runs a round-synchronous model (no per-message latency, ring estimator
+cache), so their RNG streams differ by construction. This check is the CI
+contract that the model simplifications do not move the estimator.
+
+Exit status 0 on success; 1 with a per-group report on any violation.
+
+Usage::
+
+    python scripts/check_columnar_equivalence.py artifacts/ci-columnar-w1/matrix_aggregate.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+ENGINE_PART = "engine=columnar"
+
+
+def split_groups(groups):
+    """-> (columnar_groups, object_groups) keyed by the engine-less group key."""
+    columnar, plain = {}, {}
+    for name, metrics in groups.items():
+        parts = name.split(";")
+        if ENGINE_PART in parts:
+            stem = ";".join(part for part in parts if part != ENGINE_PART)
+            columnar[stem] = (name, metrics)
+        else:
+            plain[name] = (name, metrics)
+    return columnar, plain
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("aggregate", help="matrix_aggregate.json with both engines")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="max |est_mean(columnar) - est_mean(object)| per group (default 0.05)",
+    )
+    parser.add_argument(
+        "--max-error",
+        type=float,
+        default=0.15,
+        help="max converged est_err_avg_final for either engine (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.aggregate, "r", encoding="utf-8") as handle:
+        aggregate = json.load(handle)
+    groups = aggregate.get("groups", {})
+    failed = aggregate.get("failed", [])
+    if failed:
+        print(f"FAIL: aggregate has {len(failed)} failed cells: {failed}")
+        return 1
+
+    columnar, plain = split_groups(groups)
+    if not columnar:
+        print("FAIL: no engine=columnar groups in the aggregate")
+        return 1
+
+    problems = []
+    compared = 0
+    for stem, (col_name, col_metrics) in sorted(columnar.items()):
+        if stem not in plain:
+            problems.append(f"{col_name}: no object-engine twin group {stem!r}")
+            continue
+        obj_name, obj_metrics = plain[stem]
+        col_mean = col_metrics.get("est_mean", {}).get("mean")
+        obj_mean = obj_metrics.get("est_mean", {}).get("mean")
+        if col_mean is None or obj_mean is None:
+            problems.append(
+                f"{stem}: est_mean missing (columnar={col_mean}, object={obj_mean})"
+            )
+            continue
+        compared += 1
+        delta = abs(col_mean - obj_mean)
+        status = "ok" if delta <= args.tolerance else "FAIL"
+        print(
+            f"{status}: {stem}\n"
+            f"    est_mean columnar={col_mean:.4f} object={obj_mean:.4f} "
+            f"delta={delta:.4f} (tolerance {args.tolerance})"
+        )
+        if delta > args.tolerance:
+            problems.append(f"{stem}: est_mean delta {delta:.4f} > {args.tolerance}")
+        for label, metrics in (("columnar", col_metrics), ("object", obj_metrics)):
+            err = metrics.get("est_err_avg_final", {}).get("mean")
+            if err is None:
+                problems.append(f"{stem}: {label} has no est_err_avg_final")
+            elif err > args.max_error:
+                problems.append(
+                    f"{stem}: {label} est_err_avg_final {err:.4f} > {args.max_error}"
+                )
+
+    if compared == 0:
+        problems.append("no comparable (columnar, object) group pairs found")
+    if problems:
+        print("\ncolumnar-vs-object equivalence FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"\nequivalence OK: {compared} group pair(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

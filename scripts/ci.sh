@@ -37,6 +37,18 @@
 #         --timelines paper-churn --dry-run; } 2>/dev/null \
 #     > artifacts/baseline/matrix_cells.txt
 #   git add -f artifacts/baseline/matrix_cells.txt
+#
+# The columnar golden (artifacts/baseline/columnar_aggregate.json) pins the
+# columnar engine's results (and byte-parity with the object cells of the same
+# grid). Regenerate it ONLY for an intentional engine-semantics change, with:
+#
+#   PYTHONPATH=src python -m repro matrix \
+#       --scenarios static --protocols croupier --sizes 60 \
+#       --seeds 2 --rounds 40 --latency constant \
+#       --engines object,columnar --workers 1 --out artifacts/ci-columnar-w1
+#   cp artifacts/ci-columnar-w1/matrix_aggregate.json \
+#      artifacts/baseline/columnar_aggregate.json
+#   git add -f artifacts/baseline/columnar_aggregate.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,6 +60,15 @@ python -m compileall -q src
 echo
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+echo
+echo "== columnar tests on the pure-array fallback (REPRO_NO_NUMPY=1) =="
+# The full tier-1 suite above runs with whatever backend is installed; this
+# re-runs the columnar-facing tests with numpy vectorisation disabled, so both
+# execution paths stay green locally. CI additionally runs the whole suite in a
+# numpy-less job (.github/workflows/ci.yml, job `no-numpy`).
+REPRO_NO_NUMPY=1 python -m pytest -x -q \
+    tests/test_columnar.py tests/test_streaming_histograms.py
 
 echo
 echo "== bench smoke (perf trajectory) =="
@@ -76,6 +97,51 @@ python -m repro matrix "${TIMELINE_ARGS[@]}" --workers 1 --out artifacts/ci-time
 cmp artifacts/ci-timeline-w4/matrix_aggregate.json \
     artifacts/ci-timeline-w1/matrix_aggregate.json
 echo "parity OK: timeline cells are byte-identical across worker counts"
+
+echo
+echo "== columnar engine: equivalence vs object backend + golden byte-parity =="
+# The same small grid on both engines. The columnar aggregate must be
+# byte-identical across worker counts, across the numpy and pure-array
+# backends, and to the committed golden; the estimator means of the two
+# engines must agree within tolerance (the engines are statistically
+# equivalent, not bit-identical — the columnar model is round-synchronous).
+COLUMNAR_ARGS=(--scenarios static --protocols croupier --sizes 60
+               --seeds 2 --rounds 40 --latency constant
+               --engines object,columnar)
+python -m repro matrix "${COLUMNAR_ARGS[@]}" --workers 4 --out artifacts/ci-columnar-w4
+python -m repro matrix "${COLUMNAR_ARGS[@]}" --workers 1 --out artifacts/ci-columnar-w1
+cmp artifacts/ci-columnar-w4/matrix_aggregate.json \
+    artifacts/ci-columnar-w1/matrix_aggregate.json
+echo "parity OK: columnar cells are byte-identical across worker counts"
+REPRO_NO_NUMPY=1 python -m repro matrix "${COLUMNAR_ARGS[@]}" --workers 1 \
+    --out artifacts/ci-columnar-nonumpy
+cmp artifacts/ci-columnar-w1/matrix_aggregate.json \
+    artifacts/ci-columnar-nonumpy/matrix_aggregate.json
+echo "backend OK: numpy and pure-array fallback runs are byte-identical"
+cmp artifacts/baseline/columnar_aggregate.json \
+    artifacts/ci-columnar-w1/matrix_aggregate.json
+echo "golden OK: columnar aggregate matches the committed golden byte for byte"
+python scripts/check_columnar_equivalence.py \
+    artifacts/ci-columnar-w1/matrix_aggregate.json
+
+echo
+echo "== columnar scale smoke: one 10^5-node cell inside the wall-clock budget =="
+# A single 100k-node Croupier cell through the full matrix stack (scale kind,
+# engine-native streamed metrics). The 300s budget is ~8x the measured wall
+# time on the CI container class; busting it is a perf regression, not noise.
+timeout 300 python -m repro matrix --scenarios scale --protocols croupier \
+    --engines columnar --sizes 100000 --seeds 1 --rounds 5 --latency constant \
+    --workers 1 --heartbeat 0 --out artifacts/ci-scale
+python - <<'PYEOF'
+import json
+groups = json.load(open("artifacts/ci-scale/matrix_aggregate.json"))["groups"]
+[(name, metrics)] = groups.items()
+mean = metrics["est_mean"]["mean"]
+measured = metrics["est_nodes_measured"]["mean"]
+assert measured == 100000.0, f"expected 100000 measured nodes, got {measured}"
+assert abs(mean - 0.2) < 0.05, f"estimate off at scale: {mean}"
+print(f"scale OK: {name}\n  est_mean={mean:.4f} over {measured:.0f} nodes")
+PYEOF
 
 echo
 echo "== cell-key stability: dry-run vs committed cell list =="

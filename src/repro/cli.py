@@ -93,6 +93,12 @@ def _build_runners() -> Dict[str, Callable]:
             seed=a.seed,
             latency=a.latency,
         ),
+        "scale": lambda a: exp.run_scale_experiment(
+            nodes=a.nodes,
+            rounds=a.rounds,
+            seed=a.seed,
+            latency=a.latency,
+        ),
     }
 
 
@@ -172,6 +178,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(paper-churn, paper-failure, flash-crowd, diurnal, partition-heal, ... — "
         "`--list` shows them) or paths to timeline JSON files; 'none' adds no "
         "extra dynamics",
+    )
+    matrix.add_argument(
+        "--engines",
+        type=_csv_list,
+        default=["object"],
+        help="execution-backend axis: comma-separated engine names ('object' — "
+        "per-node component simulation; 'columnar' — flat-array batched engine "
+        "for 1e5+ node cells, croupier/cyclon only)",
     )
     matrix.add_argument(
         "--variants",
@@ -423,6 +437,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         nat_mixtures=args.nat_mixtures,
         upnp_fractions=upnp_fractions,
         timelines=timelines,
+        engines=args.engines,
     )
 
     if args.dry_run:

@@ -1,0 +1,93 @@
+"""Backend selection and shared numeric helpers for the columnar engine.
+
+The columnar engine stores every piece of per-node state in flat
+:class:`array.array` columns (row-major, fixed-width slots). That single storage
+representation is what makes the dual execution paths bit-identical:
+
+* **numpy fast path** — whole-column phases (view ageing, estimator-window
+  archiving, per-node estimate means, in-degree bincounts) run as vectorized
+  operations over zero-copy :func:`numpy.frombuffer` views of the very same
+  ``array.array`` buffers. Only elementwise integer arithmetic, gathers/scatters
+  and elementwise IEEE-754 float operations are used — every one of them produces
+  exactly the bytes the pure-Python loop would.
+* **pure-Python fallback** — the same phases as explicit loops over the same
+  buffers, in the same element order. Correct (and exercised by CI without numpy
+  installed), merely slow at large N.
+
+Float *reductions* are the one operation where numpy would diverge (pairwise
+summation reorders additions), so they never go through numpy: both paths reduce
+with :func:`seq_sum`, a plain sequential left-to-right accumulation.
+
+``REPRO_NO_NUMPY=1`` in the environment forces the fallback even when numpy is
+importable — this is how a container with numpy baked in exercises the fallback
+path end to end (``scripts/ci.sh`` runs the tier-1 suite both ways).
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Iterable, Optional
+
+np = None
+if os.environ.get("REPRO_NO_NUMPY", "") in ("", "0"):
+    try:  # pragma: no cover - exercised via both CI installs
+        import numpy as np  # type: ignore[no-redef]
+    except ImportError:  # pragma: no cover
+        np = None
+
+#: Whether the numpy fast path is available (import-time decision; engines take an
+#: explicit ``use_numpy`` override so tests can exercise both paths in one process).
+HAVE_NUMPY = np is not None
+
+#: array.array typecode -> numpy dtype name (native byte order on both sides).
+_DTYPES = {"b": "int8", "i": "int32", "q": "int64", "d": "float64"}
+
+
+def as_np(column: array):
+    """A writable zero-copy numpy view over an ``array.array`` column.
+
+    Mutations write through to the underlying buffer. Views must be created fresh
+    per operation and never held across a column resize (``extend`` may move the
+    buffer).
+    """
+    return np.frombuffer(column, dtype=_DTYPES[column.typecode])
+
+
+def new_column(typecode: str, length: int, fill: int = 0) -> array:
+    """A flat column of ``length`` entries, all set to ``fill``."""
+    if fill == 0:
+        return array(typecode, bytes(length * array(typecode).itemsize))
+    return array(typecode, [fill]) * length
+
+
+def grow_column(column: array, extra: int, fill: int = 0) -> None:
+    """Append ``extra`` entries of ``fill`` to a column (amortised node growth)."""
+    if fill == 0:
+        column.frombytes(bytes(extra * column.itemsize))
+    else:
+        column.extend(array(column.typecode, [fill]) * extra)
+
+
+def seq_sum(values: Iterable[float]) -> float:
+    """Strict left-to-right float accumulation — the shared reduction order.
+
+    Both backends fold every user-visible float reduction through this helper so
+    the numpy path can never pick up pairwise-summation rounding differences.
+    """
+    total = 0.0
+    for value in values:
+        total += value
+    return total
+
+
+def seq_mean(values: Iterable[float]) -> Optional[float]:
+    """Sequential mean with the same accumulation order as :func:`seq_sum`."""
+    total = 0.0
+    count = 0
+    for value in values:
+        total += value
+        count += 1
+    if count == 0:
+        return None
+    return total / count

@@ -1,0 +1,743 @@
+"""The columnar gossip kernel: whole-round batched shuffles over flat array columns.
+
+One :class:`ColumnarEngine` holds an entire cell's protocol state — partial views,
+descriptor ages, ratio-estimator windows and caches, traffic counters — as flat
+``array.array`` columns (``row = node id``, fixed-width slots per row). A gossip
+round is executed for *all* nodes in one call: the per-column phases (ageing,
+estimator-window archiving, local-estimate recomputation) run as vectorized
+operations (numpy views when available, identical plain loops otherwise), and the
+round's shuffle exchanges are processed as one batched pass over the initiator
+rows in ascending order — no event queue, no per-node callback objects, no
+descriptor allocation.
+
+Model (the documented deltas from the object backend, see docs/columnar_backend.md):
+
+* **Round-synchronous.** A shuffle request, its handling and its response all
+  happen within the same engine round; there is no per-message latency model and
+  therefore no pending-shuffle timeout. Requests to dead, private (NAT-filtered)
+  or partitioned-away partners are simply lost — which reproduces the object
+  engine's self-healing behaviour (the initiator already dropped the partner from
+  its view).
+* **Estimator cache is a ring, not a keyed table.** Each node keeps the last
+  ``cache_capacity`` received estimates as ``(value, born_round)`` pairs; entries
+  older than the γ window are masked at read time. The object backend's
+  freshest-per-origin dedup is approximated by recency.
+* **Estimate piggybacking is truncated.** A shuffle carries the sender's own
+  local estimate plus its ``forward_estimates`` most recent cached entries
+  (default 2), instead of a uniform sample of up to 10.
+
+Everything is deterministic: one injected ``random.Random`` consumed in a fixed
+order (ascending initiator rows), and every vectorized phase is elementwise-exact
+so the numpy and fallback paths produce bit-identical state (pinned by
+``tests/test_columnar.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from repro.columnar import backend
+from repro.columnar.backend import as_np, grow_column, new_column, seq_sum
+from repro.columnar.streaming import StreamingHistogram
+from repro.errors import ConfigurationError
+
+#: Sentinel born-round for an empty estimator-ring slot (always outside any window).
+BORN_NONE = -(2 ** 30)
+
+#: Wire-size accounting constants (bytes). Only relative magnitudes matter for the
+#: Figure 7(a)-style per-class load comparison; they approximate the object
+#: backend's descriptor (address + age) and estimate entry sizes.
+DESCRIPTOR_BYTES = 8
+ESTIMATE_BYTES = 5
+HEADER_BYTES = 12
+
+#: Protocols this engine can execute.
+COLUMNAR_PROTOCOLS = ("croupier", "cyclon")
+
+
+class ColumnarEngine:
+    """Flat-column state + batched round execution for one simulated cell."""
+
+    def __init__(
+        self,
+        protocol: str,
+        *,
+        view_size: int,
+        shuffle_size: int,
+        rng,
+        history_alpha: int = 25,
+        history_gamma: int = 50,
+        cache_capacity: int = 32,
+        forward_estimates: int = 2,
+        bootstrap_seed_size: Optional[int] = None,
+        use_numpy: Optional[bool] = None,
+    ) -> None:
+        if protocol not in COLUMNAR_PROTOCOLS:
+            raise ConfigurationError(
+                f"columnar engine supports {COLUMNAR_PROTOCOLS}, got {protocol!r}"
+            )
+        if view_size <= 0 or shuffle_size <= 0:
+            raise ConfigurationError("view_size and shuffle_size must be positive")
+        self.protocol = protocol
+        self.estimating = protocol == "croupier"
+        self.V = view_size
+        self.K = min(shuffle_size, view_size)
+        self.A = history_alpha
+        self.G = history_gamma
+        self.C = cache_capacity
+        self.FWD = max(0, min(forward_estimates, cache_capacity))
+        self.seed_size = bootstrap_seed_size or view_size
+        self.rng = rng
+        self.use_numpy = backend.HAVE_NUMPY if use_numpy is None else bool(use_numpy)
+        if self.use_numpy and not backend.HAVE_NUMPY:
+            raise ConfigurationError("numpy requested but not available")
+
+        self.round = 0
+        self.packets_sent = 0
+        self.drops: Dict[str, int] = {}
+        #: Loss probabilities applied per sender class (set via configure_loss).
+        self.loss_public = 0.0
+        self.loss_private = 0.0
+        self._partition_active = False
+
+        self._rows = 1  # row 0 is a permanently-dead filler so node ids start at 1
+        self._cap = 16
+        cap = self._cap
+        self.alive = new_column("b", cap)
+        self.is_public = new_column("b", cap)
+        self.nat_class = new_column("i", cap)
+        self.rounds_exec = new_column("i", cap)
+        self.joined_ms = new_column("d", cap)
+        self.isolated = new_column("b", cap)
+        self.tx_bytes = new_column("q", cap)
+        self.rx_bytes = new_column("q", cap)
+        # Primary view (Croupier's public view; Cyclon's only view).
+        self.pub_id = new_column("q", cap * self.V, fill=-1)
+        self.pub_age = new_column("i", cap * self.V)
+        if self.estimating:
+            self.priv_id = new_column("q", cap * self.V, fill=-1)
+            self.priv_age = new_column("i", cap * self.V)
+            self.cur_cu = new_column("i", cap)
+            self.cur_cv = new_column("i", cap)
+            self.cu_sum = new_column("q", cap)
+            self.cv_sum = new_column("q", cap)
+            self.hist_cu = new_column("i", cap * self.A)
+            self.hist_cv = new_column("i", cap * self.A)
+            self.hist_pos = new_column("i", cap)
+            self.est_val = new_column("d", cap * self.C)
+            self.est_born = new_column("i", cap * self.C, fill=BORN_NONE)
+            self.est_pos = new_column("i", cap)
+            self.loc_est = new_column("d", cap)  # -1.0 == no local estimate
+            for row in range(cap):
+                self.loc_est[row] = -1.0
+        #: Live public rows (the bootstrap registry): list + position map for O(1)
+        #: removal with deterministic (swap-pop) order.
+        self._pub_live: List[int] = []
+        self._pub_pos: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ growth
+
+    @property
+    def rows(self) -> int:
+        """Number of allocated rows (== highest node id + 1; row 0 is filler)."""
+        return self._rows
+
+    def reserve(self, total_nodes: int) -> None:
+        """Pre-size all columns for ``total_nodes`` nodes (avoids doubling copies)."""
+        needed = total_nodes + 1
+        if needed > self._cap:
+            self._grow(needed)
+
+    def _grow(self, min_cap: int) -> None:
+        new_cap = max(self._cap * 2, min_cap)
+        extra = new_cap - self._cap
+        for column in (
+            self.alive, self.is_public, self.nat_class, self.rounds_exec,
+            self.joined_ms, self.isolated, self.tx_bytes, self.rx_bytes,
+        ):
+            grow_column(column, extra)
+        grow_column(self.pub_id, extra * self.V, fill=-1)
+        grow_column(self.pub_age, extra * self.V)
+        if self.estimating:
+            grow_column(self.priv_id, extra * self.V, fill=-1)
+            grow_column(self.priv_age, extra * self.V)
+            for column in (self.cur_cu, self.cur_cv, self.cu_sum, self.cv_sum,
+                           self.hist_pos, self.est_pos):
+                grow_column(column, extra)
+            grow_column(self.hist_cu, extra * self.A)
+            grow_column(self.hist_cv, extra * self.A)
+            grow_column(self.est_val, extra * self.C)
+            grow_column(self.est_born, extra * self.C, fill=BORN_NONE)
+            grow_column(self.loc_est, extra)
+            for row in range(self._cap, new_cap):
+                self.loc_est[row] = -1.0
+        self._cap = new_cap
+
+    # ------------------------------------------------------------------ membership
+
+    def add_node(self, public: bool, now_ms: float = 0.0, nat_class: int = 0) -> int:
+        """Create one node; seeds its view from the live public registry. Returns its row."""
+        row = self._rows
+        if row >= self._cap:
+            self._grow(row + 1)
+        self._rows = row + 1
+        self.alive[row] = 1
+        self.is_public[row] = 1 if public else 0
+        self.nat_class[row] = nat_class
+        self.joined_ms[row] = now_ms
+        seeds = self._pub_live
+        count = min(self.seed_size, self.V, len(seeds))
+        if count:
+            chosen = self.rng.sample(seeds, count)
+            base = row * self.V
+            for slot, seed_row in enumerate(chosen):
+                self.pub_id[base + slot] = seed_row
+                self.pub_age[base + slot] = 0
+        if public:
+            self._pub_pos[row] = len(self._pub_live)
+            self._pub_live.append(row)
+        return row
+
+    def kill(self, row: int) -> bool:
+        """Remove a node. Its descriptors linger in other views and age out."""
+        if not (0 < row < self._rows) or not self.alive[row]:
+            return False
+        self.alive[row] = 0
+        base = row * self.V
+        for slot in range(self.V):
+            self.pub_id[base + slot] = -1
+            self.pub_age[base + slot] = 0
+        if self.estimating:
+            for slot in range(self.V):
+                self.priv_id[base + slot] = -1
+                self.priv_age[base + slot] = 0
+            self.loc_est[row] = -1.0
+        if self.is_public[row]:
+            pos = self._pub_pos.pop(row)
+            last = self._pub_live.pop()
+            if last != row:
+                self._pub_live[pos] = last
+                self._pub_pos[last] = pos
+        return True
+
+    def live_rows(self) -> List[int]:
+        alive = self.alive
+        return [row for row in range(1, self._rows) if alive[row]]
+
+    def live_count(self) -> int:
+        if self.use_numpy:
+            return int(as_np(self.alive)[: self._rows].sum())
+        return sum(self.alive[1 : self._rows])
+
+    def live_public_rows(self) -> List[int]:
+        """Live public rows in ascending (creation) order."""
+        n = self._rows
+        if self.use_numpy:
+            np = backend.np
+            alive = as_np(self.alive)[:n]
+            public = as_np(self.is_public)[:n]
+            return np.nonzero((alive != 0) & (public != 0))[0].tolist()
+        alive, public = self.alive, self.is_public
+        return [row for row in range(1, n) if alive[row] and public[row]]
+
+    def live_private_rows(self) -> List[int]:
+        """Live private rows in ascending (creation) order."""
+        n = self._rows
+        if self.use_numpy:
+            np = backend.np
+            alive = as_np(self.alive)[:n]
+            public = as_np(self.is_public)[:n]
+            return np.nonzero((alive != 0) & (public == 0))[0].tolist()
+        alive, public = self.alive, self.is_public
+        return [row for row in range(1, n) if alive[row] and not public[row]]
+
+    def public_count(self) -> int:
+        return len(self._pub_live)
+
+    # ------------------------------------------------------------------ config hooks
+
+    def configure_loss(self, public_probability: float, private_probability: float) -> None:
+        self.loss_public = public_probability
+        self.loss_private = private_probability
+
+    def set_partition(self, isolated_rows) -> None:
+        """Install (or, with an empty set, heal) a two-sided partition by rows."""
+        for row in range(self._rows):
+            self.isolated[row] = 0
+        for row in isolated_rows:
+            if 0 < row < self._rows:
+                self.isolated[row] = 1
+        self._partition_active = bool(isolated_rows)
+
+    # ------------------------------------------------------------------ round phases
+
+    def run_round(self) -> None:
+        """Execute one synchronous gossip round for every live node."""
+        self.round += 1
+        self._age_views()
+        if self.estimating:
+            self._advance_estimators()
+        else:
+            self._advance_rounds_only()
+        self._shuffle_all()
+
+    def _age_views(self) -> None:
+        end = self._rows * self.V
+        if self.use_numpy:
+            ids = as_np(self.pub_id)[:end]
+            as_np(self.pub_age)[:end] += ids >= 0
+            if self.estimating:
+                ids = as_np(self.priv_id)[:end]
+                as_np(self.priv_age)[:end] += ids >= 0
+            return
+        pub_id, pub_age = self.pub_id, self.pub_age
+        for index in range(end):
+            if pub_id[index] >= 0:
+                pub_age[index] += 1
+        if self.estimating:
+            priv_id, priv_age = self.priv_id, self.priv_age
+            for index in range(end):
+                if priv_id[index] >= 0:
+                    priv_age[index] += 1
+
+    def _advance_rounds_only(self) -> None:
+        n = self._rows
+        if self.use_numpy:
+            alive = as_np(self.alive)[:n]
+            as_np(self.rounds_exec)[:n] += alive
+            return
+        alive, rounds = self.alive, self.rounds_exec
+        for row in range(1, n):
+            if alive[row]:
+                rounds[row] += 1
+
+    def _advance_estimators(self) -> None:
+        """Archive the finished round's (Cu, Cv) into the α-window ring and refresh
+        every public node's local estimate Cu/(Cu+Cv) over the window."""
+        n = self._rows
+        A = self.A
+        if self.use_numpy:
+            np = backend.np
+            alive = as_np(self.alive)[:n]
+            live = np.nonzero(alive)[0]
+            if live.size:
+                pos = as_np(self.hist_pos)[:n]
+                cur_cu = as_np(self.cur_cu)[:n]
+                cur_cv = as_np(self.cur_cv)[:n]
+                cu_sum = as_np(self.cu_sum)[:n]
+                cv_sum = as_np(self.cv_sum)[:n]
+                hist_cu = as_np(self.hist_cu)
+                hist_cv = as_np(self.hist_cv)
+                flat = live * A + pos[live]
+                cu_sum[live] += cur_cu[live].astype(np.int64) - hist_cu[flat]
+                cv_sum[live] += cur_cv[live].astype(np.int64) - hist_cv[flat]
+                hist_cu[flat] = cur_cu[live]
+                hist_cv[flat] = cur_cv[live]
+                pos[live] = (pos[live] + 1) % A
+                cur_cu[live] = 0
+                cur_cv[live] = 0
+                as_np(self.rounds_exec)[:n][live] += 1
+                den = cu_sum[live] + cv_sum[live]
+                ok = (as_np(self.is_public)[:n][live] != 0) & (den > 0)
+                est = np.full(live.size, -1.0)
+                # int64/int64 true division == Python's int/int for these magnitudes.
+                est[ok] = cu_sum[live][ok] / den[ok]
+                as_np(self.loc_est)[:n][live] = est
+            return
+        alive, pos_col = self.alive, self.hist_pos
+        cur_cu, cur_cv = self.cur_cu, self.cur_cv
+        cu_sum, cv_sum = self.cu_sum, self.cv_sum
+        hist_cu, hist_cv = self.hist_cu, self.hist_cv
+        rounds, is_public, loc_est = self.rounds_exec, self.is_public, self.loc_est
+        for row in range(1, n):
+            if not alive[row]:
+                continue
+            slot = row * A + pos_col[row]
+            cu_sum[row] += cur_cu[row] - hist_cu[slot]
+            cv_sum[row] += cur_cv[row] - hist_cv[slot]
+            hist_cu[slot] = cur_cu[row]
+            hist_cv[slot] = cur_cv[row]
+            pos_col[row] = (pos_col[row] + 1) % A
+            cur_cu[row] = 0
+            cur_cv[row] = 0
+            rounds[row] += 1
+            den = cu_sum[row] + cv_sum[row]
+            if is_public[row] and den > 0:
+                loc_est[row] = cu_sum[row] / den
+            else:
+                loc_est[row] = -1.0
+
+    # ------------------------------------------------------------------ the shuffle pass
+
+    def _shuffle_all(self) -> None:
+        """One batched pass over all initiators (ascending row order).
+
+        Request construction, delivery filtering, partner-side handling and the
+        response merge happen inline per initiator; state mutations interleave in
+        row order, which *is* the engine's determinism contract.
+        """
+        V, K = self.V, self.K
+        rng = self.rng
+        alive, is_public = self.alive, self.is_public
+        pub_id, pub_age = self.pub_id, self.pub_age
+        estimating = self.estimating
+        if estimating:
+            priv_id, priv_age = self.priv_id, self.priv_age
+            cur_cu, cur_cv = self.cur_cu, self.cur_cv
+        tx, rx = self.tx_bytes, self.rx_bytes
+        loss_pub, loss_priv = self.loss_public, self.loss_private
+        loss_active = loss_pub > 0.0 or loss_priv > 0.0
+        partition = self._partition_active
+        isolated = self.isolated
+        merge = self._merge
+        subset = self._subset
+        ties: List[int] = []
+
+        for i in range(1, self._rows):
+            if not alive[i]:
+                continue
+            # --- partner selection: oldest entry of the primary view, random tie-break
+            base = i * V
+            best_age = -1
+            del ties[:]
+            for slot in range(V):
+                nid = pub_id[base + slot]
+                if nid < 0:
+                    continue
+                age = pub_age[base + slot]
+                if age > best_age:
+                    best_age = age
+                    del ties[:]
+                    ties.append(slot)
+                elif age == best_age:
+                    ties.append(slot)
+            if not ties:
+                continue  # empty view: round skipped (bootstrap starvation/churn)
+            slot = ties[0] if len(ties) == 1 else ties[rng.randrange(len(ties))]
+            partner = pub_id[base + slot]
+            pub_id[base + slot] = -1
+            pub_age[base + slot] = 0
+
+            # --- request construction (own-class subset gets K-1 entries + self at age 0)
+            i_public = is_public[i] != 0
+            if estimating:
+                if i_public:
+                    req_pub = subset(pub_id, pub_age, base, K - 1, -1)
+                    req_pub.append((i, 0))
+                    req_priv = subset(priv_id, priv_age, base, K, -1)
+                else:
+                    req_pub = subset(pub_id, pub_age, base, K, -1)
+                    req_priv = subset(priv_id, priv_age, base, K - 1, -1)
+                    req_priv.append((i, 0))
+                n_desc = len(req_pub) + len(req_priv)
+            else:
+                req_pub = subset(pub_id, pub_age, base, K - 1, -1)
+                req_pub.append((i, 0))
+                req_priv = None
+                n_desc = len(req_pub)
+
+            # --- delivery filtering
+            bundle_i: Optional[List[Tuple[float, int]]] = None
+            if estimating:
+                bundle_i = self._estimate_bundle(i)
+                req_size = HEADER_BYTES + n_desc * DESCRIPTOR_BYTES + len(bundle_i) * ESTIMATE_BYTES
+            else:
+                req_size = HEADER_BYTES + n_desc * DESCRIPTOR_BYTES
+            self.packets_sent += 1
+            tx[i] += req_size
+            if loss_active and rng.random() < (loss_pub if i_public else loss_priv):
+                self._drop("lost_in_transit")
+                continue
+            if partition and isolated[i] != isolated[partner]:
+                self._drop("partitioned")
+                continue
+            if not alive[partner]:
+                self._drop("dead_partner")
+                continue
+            if not is_public[partner]:
+                # Unsolicited traffic into a NAT: filtered (and, for Croupier, the
+                # protocol only ever shuffles with croupiers anyway).
+                self._drop("nat_filtered")
+                continue
+            rx[partner] += req_size
+
+            # --- partner-side handling (partner is live and public)
+            p_base = partner * V
+            if estimating:
+                if i_public:
+                    cur_cu[partner] += 1
+                else:
+                    cur_cv[partner] += 1
+                reply_pub = subset(pub_id, pub_age, p_base, K, i)
+                reply_priv = subset(priv_id, priv_age, p_base, K, i)
+                merge(pub_id, pub_age, p_base, partner, req_pub, reply_pub)
+                merge(priv_id, priv_age, p_base, partner, req_priv, reply_priv)
+                self._ingest_estimates(partner, bundle_i)
+                bundle_p = self._estimate_bundle(partner)
+                resp_size = (
+                    HEADER_BYTES
+                    + (len(reply_pub) + len(reply_priv)) * DESCRIPTOR_BYTES
+                    + len(bundle_p) * ESTIMATE_BYTES
+                )
+            else:
+                reply_pub = subset(pub_id, pub_age, p_base, K, i)
+                reply_priv = None
+                merge(pub_id, pub_age, p_base, partner, req_pub, reply_pub)
+                bundle_p = None
+                resp_size = HEADER_BYTES + len(reply_pub) * DESCRIPTOR_BYTES
+
+            # --- response delivery (back through the initiator's NAT mapping)
+            self.packets_sent += 1
+            tx[partner] += resp_size
+            if loss_active and rng.random() < loss_pub:
+                self._drop("lost_in_transit")
+                continue
+            rx[i] += resp_size
+            merge(pub_id, pub_age, base, i, reply_pub, req_pub)
+            if estimating:
+                merge(priv_id, priv_age, base, i, reply_priv, req_priv)
+                self._ingest_estimates(i, bundle_p)
+
+    def _drop(self, reason: str) -> None:
+        self.drops[reason] = self.drops.get(reason, 0) + 1
+
+    def _subset(self, vid, vage, base: int, count: int, exclude: int) -> List[Tuple[int, int]]:
+        """Up to ``count`` random occupied entries of one row's view as (id, age)."""
+        occupied = []
+        for slot in range(self.V):
+            nid = vid[base + slot]
+            if nid >= 0 and nid != exclude:
+                occupied.append(slot)
+        if count <= 0:
+            return []
+        if len(occupied) > count:
+            occupied = self.rng.sample(occupied, count)
+        return [(vid[base + slot], vage[base + slot]) for slot in occupied]
+
+    def _merge(self, vid, vage, base: int, self_id: int, received, sent) -> None:
+        """The swapper ``updateView``: refresh-if-fresher, add-if-room, else evict a
+        descriptor that was just sent to the peer (in sent order); else drop."""
+        if not received:
+            return
+        V = self.V
+        sent_iter = 0
+        sent_len = len(sent) if sent else 0
+        for nid, nage in received:
+            if nid == self_id:
+                continue
+            empty = -1
+            found = False
+            for slot in range(V):
+                cur = vid[base + slot]
+                if cur == nid:
+                    if nage < vage[base + slot]:
+                        vage[base + slot] = nage
+                    found = True
+                    break
+                if cur < 0 and empty < 0:
+                    empty = slot
+            if found:
+                continue
+            if empty >= 0:
+                vid[base + empty] = nid
+                vage[base + empty] = nage
+                continue
+            while sent_iter < sent_len:
+                evict_id = sent[sent_iter][0]
+                sent_iter += 1
+                if evict_id == self_id:
+                    continue
+                for slot in range(V):
+                    if vid[base + slot] == evict_id:
+                        vid[base + slot] = nid
+                        vage[base + slot] = nage
+                        found = True
+                        break
+                if found:
+                    break
+            # No sent descriptor left in the view: the received one is dropped.
+
+    # ------------------------------------------------------------------ estimates
+
+    def _estimate_bundle(self, row: int) -> List[Tuple[float, int]]:
+        """What ``row`` piggybacks on a shuffle: its own local estimate (born = this
+        round) plus its FWD most recently received, still-fresh cached entries."""
+        bundle: List[Tuple[float, int]] = []
+        local = self.loc_est[row]
+        if local >= 0.0:
+            bundle.append((local, self.round))
+        if self.FWD:
+            C = self.C
+            base = row * C
+            born_min = self.round - self.G
+            pos = self.est_pos[row]
+            for back in range(1, min(self.FWD, C) + 1):
+                slot = base + (pos - back) % C
+                born = self.est_born[slot]
+                if born >= born_min:
+                    bundle.append((self.est_val[slot], born))
+        return bundle
+
+    def _ingest_estimates(self, row: int, bundle) -> None:
+        if not bundle:
+            return
+        C = self.C
+        base = row * C
+        pos = self.est_pos[row]
+        for value, born in bundle:
+            slot = base + pos
+            self.est_val[slot] = value
+            self.est_born[slot] = born
+            pos = (pos + 1) % C
+        self.est_pos[row] = pos
+
+    def estimate_ratio(self, row: int) -> Optional[float]:
+        """One node's current estimate: mean of fresh cached estimates plus (for
+        public nodes) its own local estimate. Accumulation order: ring slots
+        0..C-1, then the local estimate — both backends, both read paths."""
+        if not self.estimating:
+            return None
+        born_min = self.round - self.G
+        base = row * self.C
+        total = 0.0
+        count = 0
+        est_val, est_born = self.est_val, self.est_born
+        for slot in range(self.C):
+            if est_born[base + slot] >= born_min:
+                total += est_val[base + slot]
+                count += 1
+        local = self.loc_est[row]
+        if local >= 0.0:
+            total += local
+            count += 1
+        if count == 0:
+            return None
+        return total / count
+
+    def estimate_stats(
+        self, true_ratio: float, min_rounds: int = 2
+    ) -> Tuple[int, Optional[float], Optional[float], Optional[float]]:
+        """(nodes_measured, mean estimate, avg |error|, max |error|) over live nodes
+        with at least ``min_rounds`` executed rounds — without materialising
+        per-node service objects. Bit-identical between backends and with
+        per-node :meth:`estimate_ratio` calls."""
+        if not self.estimating:
+            return (0, None, None, None)
+        n = self._rows
+        born_min = self.round - self.G
+        estimates: List[float] = []
+        if self.use_numpy:
+            np = backend.np
+            total = np.zeros(n)
+            count = np.zeros(n, dtype=np.int64)
+            est_val = as_np(self.est_val)
+            est_born = as_np(self.est_born)
+            for slot in range(self.C):
+                born = est_born[slot :: self.C][:n]
+                mask = born >= born_min
+                total += np.where(mask, est_val[slot :: self.C][:n], 0.0)
+                count += mask
+            local = as_np(self.loc_est)[:n]
+            has_local = local >= 0.0
+            total += np.where(has_local, local, 0.0)
+            count += has_local
+            sel = (
+                (as_np(self.alive)[:n] != 0)
+                & (as_np(self.rounds_exec)[:n] >= min_rounds)
+                & (count > 0)
+            )
+            if sel.any():
+                estimates = (total[sel] / count[sel]).tolist()
+        else:
+            alive, rounds = self.alive, self.rounds_exec
+            for row in range(1, n):
+                if alive[row] and rounds[row] >= min_rounds:
+                    value = self.estimate_ratio(row)
+                    if value is not None:
+                        estimates.append(value)
+        if not estimates:
+            return (0, None, None, None)
+        k = len(estimates)
+        mean_est = seq_sum(estimates) / k
+        errors = [abs(value - true_ratio) for value in estimates]
+        return (k, mean_est, seq_sum(errors) / k, max(errors))
+
+    # ------------------------------------------------------------------ graph metrics
+
+    def view_ids(self, row: int) -> List[int]:
+        """All node ids currently in ``row``'s view(s) (may include dead nodes)."""
+        ids: List[int] = []
+        base = row * self.V
+        for slot in range(self.V):
+            nid = self.pub_id[base + slot]
+            if nid >= 0:
+                ids.append(nid)
+        if self.estimating:
+            for slot in range(self.V):
+                nid = self.priv_id[base + slot]
+                if nid >= 0:
+                    ids.append(nid)
+        return ids
+
+    def in_degree_histogram(self) -> StreamingHistogram:
+        """Histogram of live->live in-degrees, streamed (never a per-node list)."""
+        histogram = StreamingHistogram()
+        n = self._rows
+        if self.use_numpy:
+            np = backend.np
+            alive = as_np(self.alive)[:n]
+            counts = np.zeros(n, dtype=np.int64)
+            views = [self.pub_id] + ([self.priv_id] if self.estimating else [])
+            for column in views:
+                ids = as_np(column)[: n * self.V]
+                targets = ids[ids >= 0]
+                targets = targets[alive[targets] != 0]
+                counts += np.bincount(targets, minlength=n)
+            degrees = counts[np.nonzero(alive)[0]]
+            if degrees.size:
+                bins = np.bincount(degrees)
+                histogram.add_counts(
+                    {deg: int(cnt) for deg, cnt in enumerate(bins) if cnt}
+                )
+            return histogram
+        alive = self.alive
+        counts = [0] * n
+        views = [self.pub_id] + ([self.priv_id] if self.estimating else [])
+        for column in views:
+            for index in range(n * self.V):
+                nid = column[index]
+                if nid >= 0 and alive[nid]:
+                    counts[nid] += 1
+        histogram.add_many(counts[row] for row in range(1, n) if alive[row])
+        return histogram
+
+    # ------------------------------------------------------------------ determinism
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the full protocol state — the engine's golden-run pin."""
+        digest = hashlib.sha256()
+        digest.update(
+            struct.pack("<qqq", self.round, self._rows, self.packets_sent)
+        )
+        columns = [
+            self.alive, self.is_public, self.rounds_exec,
+            self.pub_id, self.pub_age, self.tx_bytes, self.rx_bytes,
+        ]
+        if self.estimating:
+            columns += [
+                self.priv_id, self.priv_age, self.cur_cu, self.cur_cv,
+                self.cu_sum, self.cv_sum, self.hist_pos, self.est_val,
+                self.est_born, self.est_pos, self.loc_est,
+            ]
+        for column in columns:
+            view = memoryview(column)[: self._rows * (len(column) // self._cap)]
+            digest.update(view.tobytes())
+        return digest.hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnarEngine({self.protocol}, live={self.live_count()}, "
+            f"round={self.round}, numpy={self.use_numpy})"
+        )

@@ -1,0 +1,110 @@
+"""Streaming metric accumulators: histograms and reservoirs that never hold per-node payloads.
+
+A 10⁶-node cell cannot afford to materialise a list of per-node values just to
+build a histogram out of it. The accumulators here ingest values one at a time
+(or as whole pre-binned count vectors) in O(distinct bins) memory, and produce
+**exactly** the structures :class:`~repro.metrics.payload.MetricPayload` stores —
+same integer bins, same integer counts — so a streamed histogram and a
+materialised one are byte-identical once serialised into an aggregate
+(``tests/test_streaming_histograms.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Optional
+
+
+class StreamingHistogram:
+    """An integer-bin histogram accumulated incrementally.
+
+    Semantically identical to ``collections.Counter(int(v) for v in values)`` —
+    which is what the object backend's probes build via
+    :meth:`MetricPayload.set_histogram` — without ever holding the values.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+
+    def add(self, value: int, count: int = 1) -> None:
+        """Record ``count`` observations of ``value`` (values are binned as ints)."""
+        key = int(value)
+        self._counts[key] = self._counts.get(key, 0) + count
+
+    def add_many(self, values: Iterable[int]) -> None:
+        counts = self._counts
+        for value in values:
+            key = int(value)
+            counts[key] = counts.get(key, 0) + 1
+
+    def add_counts(self, counts_by_value: Mapping[int, int]) -> None:
+        """Fold in a pre-binned ``{value: count}`` mapping (e.g. a bincount)."""
+        counts = self._counts
+        for value, count in counts_by_value.items():
+            if count:
+                key = int(value)
+                counts[key] = counts.get(key, 0) + int(count)
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        self.add_counts(other._counts)
+
+    @property
+    def total(self) -> int:
+        """Number of observations recorded."""
+        return sum(self._counts.values())
+
+    def to_histogram(self) -> Dict[int, int]:
+        """The exact ``{bin: count}`` dict :meth:`MetricPayload.set_histogram` expects."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StreamingHistogram(bins={len(self._counts)}, total={self.total})"
+
+
+class ReservoirSample:
+    """Uniform fixed-capacity sample of a stream (Vitter's Algorithm R).
+
+    Deterministic given the injected ``rng``: the same stream in the same order
+    yields the same reservoir. Used where a *bounded* set of representative raw
+    values is wanted from an unbounded population (e.g. spot-checking per-node
+    estimates at 10⁶ nodes without keeping 10⁶ floats).
+    """
+
+    __slots__ = ("capacity", "rng", "seen", "_values")
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"reservoir capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.rng = rng or random.Random(0)
+        self.seen = 0
+        self._values: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.seen += 1
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+            return
+        slot = self.rng.randrange(self.seen)
+        if slot < self.capacity:
+            self._values[slot] = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def values(self) -> List[float]:
+        """The current sample (insertion/replacement order; copy, safe to mutate)."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReservoirSample(k={self.capacity}, kept={len(self)}, seen={self.seen})"

@@ -69,6 +69,12 @@ from repro.experiments.overhead import OverheadExperimentResult, run_overhead_ex
 from repro.experiments.quick import QuickRunResult, quick_croupier_run
 from repro.experiments.randomness import RandomnessResult, run_randomness_experiment
 from repro.experiments.ratio_sweep import RatioSweepResult, run_ratio_sweep_experiment
+from repro.experiments.scale import (
+    ScaleRunResult,
+    ScaleVariantResult,
+    run_scale_cell,
+    run_scale_experiment,
+)
 from repro.experiments.system_size import SystemSizeResult, run_system_size_experiment
 
 __all__ = [
@@ -95,6 +101,8 @@ __all__ = [
     "RandomnessResult",
     "RatioSweepResult",
     "RetryPolicy",
+    "ScaleRunResult",
+    "ScaleVariantResult",
     "SystemSizeResult",
     "derive_cell_seed",
     "load_journal",
@@ -112,6 +120,8 @@ __all__ = [
     "run_overhead_experiment",
     "run_randomness_experiment",
     "run_ratio_sweep_experiment",
+    "run_scale_cell",
+    "run_scale_experiment",
     "run_system_size_experiment",
     "scenario_names",
     "spec_digest",

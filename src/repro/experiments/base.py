@@ -29,7 +29,7 @@ from repro.metrics.estimation import EstimationErrorSeries
 from repro.metrics.payload import MetricPayload
 from repro.metrics.probes import collect_ratio_estimates
 from repro.workload.events import ChurnPhase, PoissonJoin, RatioGrowth
-from repro.workload.scenario import Scenario, ScenarioConfig
+from repro.workload.scenario import Scenario, ScenarioConfig, create_scenario
 from repro.workload.timeline import Timeline
 
 
@@ -263,7 +263,7 @@ def run_estimation_cell(ctx: CellContext) -> MetricPayload:
     timeline = cell_timeline(ctx)
     if cell.param("join_window_ms"):
         # The join transient is part of the timeline; the scenario starts empty.
-        scenario = Scenario(ctx.scenario_config(pss_config=pss_config))
+        scenario = create_scenario(ctx.scenario_config(pss_config=pss_config))
     else:
         scenario = ctx.populated_scenario(n_public, n_private, pss_config=pss_config)
     installed = ctx.install_timeline(scenario, base=timeline)

@@ -57,6 +57,9 @@ DEFAULT_UPNP_FRACTION = 0.0
 #: :class:`~repro.workload.timeline.Timeline` whose events are appended to the cell's
 #: own dynamics (the kind's params still build the base timeline).
 DEFAULT_TIMELINE = "none"
+#: ``"object"`` = the per-node component simulation; ``"columnar"`` = the flat-array
+#: batched engine (:mod:`repro.columnar`) for 10⁵–10⁶-node cells.
+DEFAULT_ENGINE = "object"
 
 
 def timeline_digest(name: str) -> str:
@@ -101,6 +104,7 @@ class CellSpec:
     nat_mixture: str = DEFAULT_NAT_MIXTURE
     upnp_fraction: float = DEFAULT_UPNP_FRACTION
     timeline: str = DEFAULT_TIMELINE
+    engine: str = DEFAULT_ENGINE
     params: Params = ()
 
     @property
@@ -132,6 +136,8 @@ class CellSpec:
             parts.append(f"upnp_fraction={self.upnp_fraction:g}")
         if self.timeline != DEFAULT_TIMELINE:
             parts.append(f"timeline={self.timeline}@{timeline_digest(self.timeline)}")
+        if self.engine != DEFAULT_ENGINE:
+            parts.append(f"engine={self.engine}")
         parts.extend(f"{name}={value}" for name, value in self.params)
         return ";".join(parts)
 
@@ -173,6 +179,20 @@ class CellSpec:
             raise ExperimentError(f"upnp_fraction out of range: {self.upnp_fraction}")
         if self.timeline != DEFAULT_TIMELINE:
             timeline_digest(self.timeline)  # raises on unknown names
+        from repro.workload.scenario import ENGINES
+
+        if self.engine not in ENGINES:
+            raise ExperimentError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if self.engine == "columnar":
+            from repro.columnar.engine import COLUMNAR_PROTOCOLS
+
+            if self.protocol not in COLUMNAR_PROTOCOLS:
+                raise ExperimentError(
+                    f"engine='columnar' supports protocols {COLUMNAR_PROTOCOLS}, "
+                    f"got {self.protocol!r}"
+                )
         if self.size <= 0:
             raise ExperimentError("cell size must be positive")
         if self.rounds <= 0:
@@ -214,6 +234,11 @@ class MatrixSpec:
     ``partition-heal``) whose events are installed on top of the scenario kind's own
     dynamics. ``"none"`` (the default) adds nothing and keeps every legacy cell key,
     derived seed and aggregate byte intact.
+
+    ``engines`` is the execution-backend axis: ``"object"`` (default — per-node
+    component simulation) or ``"columnar"`` (flat-array batched engine for
+    10⁵–10⁶-node cells; Croupier and Cyclon only). The default is omitted from cell
+    keys, so adding the axis never re-seeds a legacy cell.
     """
 
     scenarios: Sequence[str] = ("static",)
@@ -230,6 +255,7 @@ class MatrixSpec:
     nat_mixtures: Sequence[str] = (DEFAULT_NAT_MIXTURE,)
     upnp_fractions: Sequence[float] = (DEFAULT_UPNP_FRACTION,)
     timelines: Sequence[str] = (DEFAULT_TIMELINE,)
+    engines: Sequence[str] = (DEFAULT_ENGINE,)
 
     def validate(self) -> List["CellSpec"]:
         """Validate the axes and every expanded cell; returns the cells so callers
@@ -250,6 +276,8 @@ class MatrixSpec:
             raise ExperimentError("matrix needs at least one UPnP fraction")
         if not self.timelines:
             raise ExperimentError("matrix needs at least one timeline (or 'none')")
+        if not self.engines:
+            raise ExperimentError("matrix needs at least one engine")
         if self.seeds <= 0:
             raise ExperimentError("seeds must be positive")
         if self.rounds <= 0:
@@ -270,9 +298,9 @@ class MatrixSpec:
         """Expand the axes into cells, in a stable, documented order.
 
         Order is scenario → variant → protocol → NAT profile → NAT mixture → UPnP
-        fraction → loss rate → timeline → size → seed, exactly as declared; the
-        runner preserves this order in its results regardless of which worker
-        finishes first.
+        fraction → loss rate → timeline → engine → size → seed, exactly as
+        declared; the runner preserves this order in its results regardless of
+        which worker finishes first.
         """
         cells: List[CellSpec] = []
         for scenario_name in self.scenarios:
@@ -288,24 +316,26 @@ class MatrixSpec:
                             for upnp_fraction in self.upnp_fractions:
                                 for loss_rate in self.loss_rates:
                                     for timeline in self.timelines:
-                                        for size in self.sizes:
-                                            for seed_index in range(self.seeds):
-                                                cells.append(
-                                                    CellSpec(
-                                                        scenario=scenario_name,
-                                                        protocol=protocol,
-                                                        size=size,
-                                                        seed_index=seed_index,
-                                                        rounds=self.rounds,
-                                                        public_ratio=ratio,
-                                                        nat_profile=nat_profile,
-                                                        loss_rate=float(loss_rate),
-                                                        nat_mixture=nat_mixture,
-                                                        upnp_fraction=float(upnp_fraction),
-                                                        timeline=timeline,
-                                                        params=_freeze_params(variant),
+                                        for engine in self.engines:
+                                            for size in self.sizes:
+                                                for seed_index in range(self.seeds):
+                                                    cells.append(
+                                                        CellSpec(
+                                                            scenario=scenario_name,
+                                                            protocol=protocol,
+                                                            size=size,
+                                                            seed_index=seed_index,
+                                                            rounds=self.rounds,
+                                                            public_ratio=ratio,
+                                                            nat_profile=nat_profile,
+                                                            loss_rate=float(loss_rate),
+                                                            nat_mixture=nat_mixture,
+                                                            upnp_fraction=float(upnp_fraction),
+                                                            timeline=timeline,
+                                                            engine=engine,
+                                                            params=_freeze_params(variant),
+                                                        )
                                                     )
-                                                )
         keys = [cell.key for cell in cells]
         if len(set(keys)) != len(keys):
             raise ExperimentError("matrix expansion produced duplicate cell keys")
@@ -334,6 +364,8 @@ class MatrixSpec:
             section["upnp_fractions"] = list(self.upnp_fractions)
         if tuple(self.timelines) != (DEFAULT_TIMELINE,):
             section["timelines"] = list(self.timelines)
+        if tuple(self.engines) != (DEFAULT_ENGINE,):
+            section["engines"] = list(self.engines)
         return section
 
     def describe(self) -> str:
@@ -353,6 +385,8 @@ class MatrixSpec:
             description += f" × loss_rates={list(self.loss_rates)}"
         if tuple(self.timelines) != (DEFAULT_TIMELINE,):
             description += f" × timelines={list(self.timelines)}"
+        if tuple(self.engines) != (DEFAULT_ENGINE,):
+            description += f" × engines={list(self.engines)}"
         return description
 
 
@@ -469,12 +503,22 @@ class CellContext:
     @property
     def timeline(self):
         """The cell's axis :class:`~repro.workload.timeline.Timeline` (``None`` for
-        the default ``"none"`` — the value every pre-timeline cell carries)."""
+        the default ``"none"`` — the value every pre-timeline cell carries).
+
+        Presets that declare an authored horizon are compressed proportionally
+        when this cell measures fewer rounds than the preset was written for
+        (:meth:`~repro.workload.timeline.TimelinePreset.timeline_for_horizon`);
+        the cell key's digest still hashes the authored timeline, so scaling
+        never changes the derived seed.
+        """
         if self.cell.timeline == DEFAULT_TIMELINE:
             return None
-        from repro.workload.timeline import get_timeline
+        from repro.workload.timeline import TIMELINES, get_timeline
 
-        return get_timeline(self.cell.timeline)
+        preset = TIMELINES.get(self.cell.timeline)
+        if preset is None:
+            return get_timeline(self.cell.timeline)  # raises the canonical error
+        return preset.timeline_for_horizon(float(self.cell.rounds))
 
     def install_timeline(self, scenario, base=None):
         """Install the cell's dynamics onto ``scenario``: the scenario kind's own
@@ -516,6 +560,7 @@ class CellContext:
             nat_mixture=mixture,
             upnp_fraction=cell.upnp_fraction,
             pss_config=pss_config,
+            engine=cell.engine,
         )
 
     def pss_config_for(self, key: Tuple, build: Callable[[], object]):
@@ -543,7 +588,7 @@ class CellContext:
         so cells that share a populated prefix and differ only in their timeline
         suffix share one cached snapshot.
         """
-        from repro.workload.scenario import Scenario
+        from repro.workload.scenario import create_scenario
 
         if n_public is None:
             n_public = self.n_public
@@ -551,7 +596,7 @@ class CellContext:
             n_private = self.n_private
 
         def build():
-            scenario = Scenario(
+            scenario = create_scenario(
                 self.scenario_config(pss_config=pss_config, nat_mixture=nat_mixture)
             )
             scenario.populate(n_public=n_public, n_private=n_private)
@@ -572,6 +617,10 @@ class CellContext:
             n_private,
             None if pss_config is None else (type(pss_config).__name__, repr(pss_config)),
         )
+        if cell.engine != DEFAULT_ENGINE:
+            # Appended conditionally so legacy recipes (and their cached snapshots)
+            # keep their exact tuples.
+            recipe = recipe + (cell.engine,)
         return self.reuse.populated_scenario(recipe, build)
 
 

@@ -65,6 +65,7 @@ from repro.experiments.faults import (
     payload_digest,
 )
 from repro.experiments.matrix import (
+    DEFAULT_ENGINE,
     DEFAULT_LOSS_RATE,
     DEFAULT_NAT_MIXTURE,
     DEFAULT_NAT_PROFILE,
@@ -904,6 +905,8 @@ def _group_key(cell: CellSpec) -> str:
         parts.append(f"upnp_fraction={cell.upnp_fraction:g}")
     if cell.timeline != DEFAULT_TIMELINE:
         parts.append(f"timeline={cell.timeline}@{timeline_digest(cell.timeline)}")
+    if cell.engine != DEFAULT_ENGINE:
+        parts.append(f"engine={cell.engine}")
     parts.append(f"size={cell.size}")
     return ";".join(parts)
 

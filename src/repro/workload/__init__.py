@@ -41,7 +41,13 @@ from repro.workload.events import (
 from repro.workload.failure import catastrophic_failure
 from repro.workload.join import PoissonJoinProcess
 from repro.workload.ratio import RatioGrowthProcess
-from repro.workload.scenario import NodeHandle, Scenario, ScenarioConfig
+from repro.workload.scenario import (
+    ENGINES,
+    NodeHandle,
+    Scenario,
+    ScenarioConfig,
+    create_scenario,
+)
 from repro.workload.timeline import (
     TIMELINE_SCHEMA,
     TIMELINES,
@@ -56,6 +62,7 @@ from repro.workload.timeline import (
 )
 
 __all__ = [
+    "ENGINES",
     "EVENT_TYPES",
     "TIMELINES",
     "TIMELINE_SCHEMA",
@@ -78,6 +85,7 @@ __all__ = [
     "WorkloadEvent",
     "all_timeline_presets",
     "catastrophic_failure",
+    "create_scenario",
     "event_type_names",
     "get_timeline",
     "register_event",

@@ -30,7 +30,7 @@ derived per event position, so adding one event never perturbs another.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 from typing import Callable, ClassVar, Dict, List, Optional, Tuple, Type
 
 from repro.errors import ConfigurationError, ExperimentError
@@ -38,6 +38,19 @@ from repro.workload.churn import ChurnProcess
 from repro.workload.join import PoissonJoinProcess
 from repro.workload.ratio import RatioGrowthProcess
 from repro.workload.scenario import Scenario
+
+
+#: Event fields measured in rounds of virtual time — what
+#: :meth:`WorkloadEvent.scaled` multiplies when a preset authored for a longer
+#: horizon is compressed onto a shorter cell. Rates (``fraction_per_round``) and
+#: millisecond-valued fields (``interval_ms``) deliberately stay fixed.
+ROUND_SCALED_FIELDS = (
+    "start_round",
+    "stop_round",
+    "at_round",
+    "spread_rounds",
+    "ramp_rounds",
+)
 
 
 @dataclass(frozen=True)
@@ -95,6 +108,29 @@ class WorkloadEvent:
     def apply(self, scenario: Scenario) -> Optional[object]:
         """Execute a boundary event; returns its outcome object."""
         raise ExperimentError(f"event {self.type!r} is not a boundary event")
+
+    def scaled(self, factor: float) -> "WorkloadEvent":
+        """A copy with every round-valued field multiplied by ``factor``.
+
+        Round-valued means onsets, stops and round-counted durations
+        (:data:`ROUND_SCALED_FIELDS`); rates and millisecond-valued fields are
+        left alone. This is how a timeline preset authored for one measurement
+        horizon compresses onto a shorter one while keeping its shape — a churn
+        wave over the middle third of the run stays over the middle third.
+        Returns ``self`` when the event carries no round-valued fields.
+        """
+        if factor <= 0.0:
+            raise ExperimentError(f"scale factor must be positive, got {factor}")
+        changes: Dict[str, float] = {}
+        for field in fields(self):  # type: ignore[arg-type]
+            if field.name not in ROUND_SCALED_FIELDS:
+                continue
+            value = getattr(self, field.name)
+            if value is not None:
+                changes[field.name] = float(value) * factor
+        if not changes:
+            return self
+        return replace(self, **changes)  # type: ignore[type-var]
 
     # ------------------------------------------------------------------ serialization
 

@@ -53,6 +53,10 @@ from repro.simulator.network import Network
 from repro.workload.ipalloc import IpAllocator
 
 
+#: Registered execution backends a :class:`ScenarioConfig` may select.
+ENGINES = ("object", "columnar")
+
+
 @dataclass
 class ScenarioConfig:
     """Everything needed to build a scenario.
@@ -90,6 +94,11 @@ class ScenarioConfig:
     upnp_fraction:
         Fraction of gateway-equipped nodes whose NAT supports UPnP IGD; those nodes map
         their ports explicitly and behave (and are counted) as public nodes.
+    engine:
+        Execution backend: ``"object"`` (this module's per-node component simulation,
+        the default) or ``"columnar"`` (:mod:`repro.columnar` — flat-array state and
+        batched rounds for 10⁵–10⁶-node cells). Build through
+        :func:`create_scenario` to get the right class for the configured engine.
     """
 
     protocol: str = "croupier"
@@ -102,6 +111,7 @@ class ScenarioConfig:
     bootstrap_seed_size: Optional[int] = None
     identify_nat_types: bool = False
     upnp_fraction: float = 0.0
+    engine: str = "object"
 
     def validate(self) -> None:
         if self.protocol not in protocol_names():
@@ -112,6 +122,10 @@ class ScenarioConfig:
             raise ConfigurationError(f"loss_rate out of range: {self.loss_rate}")
         if not 0.0 <= self.upnp_fraction <= 1.0:
             raise ConfigurationError(f"upnp_fraction out of range: {self.upnp_fraction}")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
 
 
 @dataclass
@@ -137,12 +151,35 @@ class NodeHandle:
         return self.host.address
 
 
+def create_scenario(config: Optional[ScenarioConfig] = None):
+    """Build the scenario class the config's ``engine`` selects.
+
+    ``"object"`` returns a :class:`Scenario`; ``"columnar"`` returns a
+    :class:`repro.columnar.scenario.ColumnarScenario` (imported lazily — the
+    columnar package imports this module for :class:`ScenarioConfig`). Both expose
+    the same populate/run/capability/churn surface, so callers built against this
+    factory run unchanged on either backend.
+    """
+    config = config or ScenarioConfig()
+    config.validate()
+    if config.engine == "columnar":
+        from repro.columnar.scenario import ColumnarScenario
+
+        return ColumnarScenario(config)
+    return Scenario(config)
+
+
 class Scenario:
     """A complete simulated deployment of one peer-sampling protocol."""
 
     def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
         self.config = config or ScenarioConfig()
         self.config.validate()
+        if self.config.engine != "object":
+            raise ConfigurationError(
+                f"Scenario executes engine='object' configs; build engine="
+                f"{self.config.engine!r} scenarios through create_scenario()"
+            )
         self.sim = Simulator(seed=self.config.seed)
         self.monitor = TrafficMonitor()
         self.network = Network(

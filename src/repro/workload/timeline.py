@@ -76,6 +76,16 @@ class Timeline:
         e.g. a warmed shared prefix branching into per-treatment suffixes)."""
         return Timeline(self.events + tuple(events))
 
+    def scaled(self, factor: float) -> "Timeline":
+        """The same dynamic *shape* on a stretched or compressed round axis: every
+        event's round-valued fields (:data:`~repro.workload.events.
+        ROUND_SCALED_FIELDS`) multiplied by ``factor``. Rates and absolute sizes
+        are untouched, so a 2%-per-round churn wave stays 2% per round — it just
+        starts and stops proportionally earlier. ``factor=1`` returns ``self``."""
+        if factor == 1.0:
+            return self
+        return Timeline(tuple(event.scaled(factor) for event in self.events))
+
     def validate(self) -> None:
         for event in self.events:
             if not isinstance(event, WorkloadEvent):
@@ -282,11 +292,36 @@ class InstalledTimeline:
 
 @dataclass(frozen=True)
 class TimelinePreset:
-    """One registered named timeline (mirrors the protocol plugin registry)."""
+    """One registered named timeline (mirrors the protocol plugin registry).
+
+    ``authored_horizon_rounds`` is the measurement horizon the preset's round
+    numbers were written for. When set, :meth:`timeline_for_horizon` compresses
+    the preset proportionally onto shorter horizons (a diurnal cycle authored
+    over 120 rounds still completes both waves in a 60-round cell) instead of
+    silently never firing. ``None`` — the paper presets, whose absolute round
+    numbers (churn at t=61) *are* the figure being reproduced — never scales.
+    Cell keys and digests always hash the *authored* timeline, so scaling can
+    never re-seed a cell.
+    """
 
     name: str
     timeline: Timeline
     description: str = ""
+    authored_horizon_rounds: Optional[float] = None
+
+    def timeline_for_horizon(self, horizon_rounds: Optional[float]) -> Timeline:
+        """The preset's timeline as installed at ``horizon_rounds``: compressed by
+        ``horizon / authored`` when the horizon is shorter than the preset was
+        authored for, verbatim otherwise (scaling never stretches)."""
+        authored = self.authored_horizon_rounds
+        if (
+            horizon_rounds is None
+            or authored is None
+            or authored <= 0
+            or horizon_rounds >= authored
+        ):
+            return self.timeline
+        return self.timeline.scaled(horizon_rounds / authored)
 
 
 #: Global named-timeline registry, filled below and by callers of
@@ -299,8 +334,13 @@ def register_timeline(
     timeline: Timeline,
     description: str = "",
     replace: bool = False,
+    authored_horizon_rounds: Optional[float] = None,
 ) -> TimelinePreset:
     """Register ``timeline`` under ``name`` (the ``--timelines`` axis vocabulary).
+
+    ``authored_horizon_rounds`` marks the horizon the preset's round numbers were
+    written for, enabling proportional compression onto shorter cells (see
+    :meth:`TimelinePreset.timeline_for_horizon`).
 
     Like scenario kinds, registrations made at import time of an importable module
     are visible to pool workers under any start method; run-time registrations rely
@@ -309,7 +349,16 @@ def register_timeline(
     if name in TIMELINES and not replace:
         raise ConfigurationError(f"timeline {name!r} already registered")
     timeline.validate()
-    preset = TimelinePreset(name=name, timeline=timeline, description=description)
+    if authored_horizon_rounds is not None and authored_horizon_rounds <= 0:
+        raise ConfigurationError(
+            f"authored_horizon_rounds must be positive, got {authored_horizon_rounds}"
+        )
+    preset = TimelinePreset(
+        name=name,
+        timeline=timeline,
+        description=description,
+        authored_horizon_rounds=authored_horizon_rounds,
+    )
     TIMELINES[name] = preset
     return preset
 
@@ -358,6 +407,7 @@ register_timeline(
                         spread_rounds=2.0),)),
     description="a flash crowd: 50% extra population joins within two rounds of t=30 "
     "(public share 0.2)",
+    authored_horizon_rounds=60.0,
 )
 
 register_timeline(
@@ -370,6 +420,7 @@ register_timeline(
     )),
     description="two ramped 2%/round churn waves (rounds 20-50 and 70-100) modelling "
     "day/night session cycles",
+    authored_horizon_rounds=120.0,
 )
 
 register_timeline(
@@ -377,4 +428,5 @@ register_timeline(
     Timeline((Partition(start_round=30.0, stop_round=40.0, fraction=0.5),)),
     description="half the population is partitioned away at t=30 and the split heals "
     "at t=40",
+    authored_horizon_rounds=60.0,
 )

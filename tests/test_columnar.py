@@ -1,0 +1,370 @@
+"""Columnar engine tests: flat-array protocol state, backend bit-parity, the
+engine axis of the experiment matrix, and the ``scale`` scenario kind.
+
+The load-bearing invariants:
+
+* numpy and pure-array backends produce **bit-identical** state (fingerprints);
+* the engine axis is additive — cells at ``engine="object"`` keep their exact
+  pre-axis keys, so no legacy derived seed moves;
+* the columnar scenario implements the capability API, so probes, timelines and
+  churn drive it unmodified;
+* engine-native streamed statistics equal the per-node facade collection.
+"""
+
+import copy
+import math
+
+import pytest
+
+from repro.columnar import COLUMNAR_PROTOCOLS, ColumnarEngine, ColumnarScenario
+from repro.columnar.backend import HAVE_NUMPY
+from repro.errors import ConfigurationError, ExperimentError
+from repro.membership.capabilities import OverlaySampling, RatioEstimating
+from repro.metrics.probes import collect_ratio_estimates
+from repro.workload.scenario import (
+    ENGINES,
+    Scenario,
+    ScenarioConfig,
+    create_scenario,
+)
+from repro.workload.timeline import get_timeline
+
+BACKENDS = [False, True] if HAVE_NUMPY else [False]
+
+
+def columnar_config(seed=7, **kwargs):
+    kwargs.setdefault("protocol", "croupier")
+    kwargs.setdefault("latency", "constant")
+    return ScenarioConfig(seed=seed, engine="columnar", **kwargs)
+
+
+def make_scenario(seed=7, n_public=20, n_private=80, use_numpy=None, **kwargs):
+    scenario = ColumnarScenario(columnar_config(seed=seed, **kwargs), use_numpy=use_numpy)
+    scenario.populate(n_public, n_private)
+    return scenario
+
+
+# --------------------------------------------------------------------- engine core
+
+
+class TestColumnarEngine:
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_views_fill_and_age(self, use_numpy):
+        import random
+
+        engine = ColumnarEngine(
+            "croupier", view_size=10, shuffle_size=5,
+            rng=random.Random(1), use_numpy=use_numpy,
+        )
+        rows = [engine.add_node(public=True) for _ in range(30)]
+        for _ in range(10):
+            engine.run_round()
+        # Every node's public view holds only live public peers, never itself.
+        for row in rows:
+            ids = engine.view_ids(row)
+            assert ids, "views must fill after 10 rounds"
+            assert row not in ids
+            assert all(other in rows for other in ids)
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_estimates_converge(self, use_numpy):
+        import random
+
+        engine = ColumnarEngine(
+            "croupier", view_size=10, shuffle_size=5,
+            rng=random.Random(2), use_numpy=use_numpy,
+        )
+        for index in range(100):
+            engine.add_node(public=index < 20)
+        for _ in range(30):
+            engine.run_round()
+        measured, mean, avg_err, max_err = engine.estimate_stats(0.2)
+        assert measured == 100
+        # N=100 is small for the estimator: the sampling variance alone is a few
+        # hundredths, so this is a convergence smoke, not a precision bound.
+        assert abs(mean - 0.2) < 0.1
+        assert avg_err < 0.15
+        assert max_err <= 1.0
+
+    def test_rejects_unknown_protocol(self):
+        import random
+
+        with pytest.raises(ConfigurationError):
+            ColumnarEngine("newscast", view_size=10, shuffle_size=5,
+                           rng=random.Random(1))
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy for the comparison")
+    def test_backends_bit_identical(self):
+        """The engine's golden invariant: numpy vectorisation never changes a bit."""
+        import random
+
+        fingerprints = []
+        for use_numpy in (False, True):
+            engine = ColumnarEngine(
+                "croupier", view_size=10, shuffle_size=5,
+                rng=random.Random(11), use_numpy=use_numpy,
+            )
+            for index in range(60):
+                engine.add_node(public=index % 5 == 0)
+            for round_index in range(25):
+                if round_index == 12:
+                    engine.kill(5)
+                    engine.add_node(public=False)
+                engine.run_round()
+            fingerprints.append(engine.fingerprint())
+        assert fingerprints[0] == fingerprints[1]
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_estimate_stats_equals_facade_collection(self, use_numpy):
+        scenario = make_scenario(seed=5, use_numpy=use_numpy)
+        scenario.run_rounds(15)
+        true_ratio = scenario.true_ratio()
+        measured, mean, avg_err, max_err = scenario.engine.estimate_stats(true_ratio)
+        estimates = [e for e in collect_ratio_estimates(scenario) if e is not None]
+        assert measured == len(estimates)
+        assert mean == sum(estimates) / len(estimates)
+        deviations = [abs(true_ratio - e) for e in estimates]
+        assert avg_err == sum(deviations) / len(deviations)
+        assert max_err == max(deviations)
+
+    @pytest.mark.parametrize("use_numpy", BACKENDS)
+    def test_in_degree_histogram_counts_live_edges(self, use_numpy):
+        scenario = make_scenario(seed=6, n_public=10, n_private=30,
+                                 use_numpy=use_numpy)
+        scenario.run_rounds(10)
+        histogram = scenario.engine.in_degree_histogram().to_histogram()
+        live = scenario.live_count()
+        assert sum(histogram.values()) == live
+        total_edges = sum(bin_ * count for bin_, count in histogram.items())
+        graph = scenario.overlay_graph()
+        assert total_edges == sum(len(view) for view in graph.values())
+
+
+# ----------------------------------------------------------------- scenario facade
+
+
+class TestColumnarScenario:
+    def test_capability_api(self):
+        scenario = make_scenario()
+        assert scenario.supports(OverlaySampling)
+        assert scenario.supports(RatioEstimating)
+        services = list(scenario.services_with(RatioEstimating))
+        assert len(services) == 100
+        service = services[0]
+        assert service.current_round >= 0
+        estimate = service.estimated_ratio()
+        assert estimate is None or 0.0 <= estimate <= 1.0
+
+    def test_cyclon_has_no_estimation(self):
+        scenario = make_scenario(protocol="cyclon")
+        assert scenario.supports(OverlaySampling)
+        assert not scenario.supports(RatioEstimating)
+        assert collect_ratio_estimates(scenario) == []
+
+    def test_rejects_object_only_features(self):
+        with pytest.raises(ConfigurationError):
+            ColumnarScenario(columnar_config(identify_nat_types=True))
+        with pytest.raises(ConfigurationError):
+            ColumnarScenario(ScenarioConfig(protocol="croupier", seed=1))
+
+    def test_determinism_same_seed_same_fingerprint(self):
+        runs = []
+        for _ in range(2):
+            scenario = make_scenario(seed=13)
+            scenario.run_rounds(12)
+            runs.append(scenario.engine.fingerprint())
+        assert runs[0] == runs[1]
+
+    def test_clone_continues_bit_identically(self):
+        scenario = make_scenario(seed=14)
+        scenario.run_rounds(8)
+        clone = scenario.clone()
+        scenario.run_rounds(7)
+        clone.run_rounds(7)
+        assert scenario.engine.fingerprint() == clone.engine.fingerprint()
+
+    def test_churn_replaces_population(self):
+        scenario = make_scenario(seed=15)
+        scenario.run_rounds(5)
+        before = scenario.live_count()
+        scenario.churn_step(0.1)
+        assert scenario.live_count() == before
+        assert abs(scenario.true_ratio() - 0.2) < 0.1
+
+    def test_timeline_installs_and_fires(self):
+        scenario = make_scenario(seed=16, n_public=12, n_private=48)
+        timeline = get_timeline("paper-failure")
+        installed = timeline.install(scenario, horizon_rounds=70)
+        installed.advance_rounds(65)
+        # Half the population dies at the t=61 boundary.
+        assert scenario.live_count() == 30
+
+    def test_overhead_public_exceeds_private(self):
+        scenario = make_scenario(seed=17)
+        scenario.run_rounds(10)
+        start = scenario.traffic_snapshot()
+        scenario.run_rounds(10)
+        monitor = scenario.monitor
+        public = monitor.average_load_bps(
+            start, scenario.now,
+            node_filter=set(scenario.live_public_ids()).__contains__,
+        )
+        private = monitor.average_load_bps(
+            start, scenario.now,
+            node_filter=set(scenario.live_private_ids()).__contains__,
+        )
+        assert public > private > 0.0
+
+
+# ------------------------------------------------------------------- engine axis
+
+
+class TestEngineAxis:
+    def test_engines_vocabulary(self):
+        assert ENGINES == ("object", "columnar")
+        assert set(COLUMNAR_PROTOCOLS) == {"croupier", "cyclon"}
+
+    def test_create_scenario_dispatch(self):
+        assert isinstance(
+            create_scenario(ScenarioConfig(protocol="croupier", seed=1)), Scenario
+        )
+        assert isinstance(create_scenario(columnar_config()), ColumnarScenario)
+
+    def test_object_scenario_rejects_columnar_config(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(columnar_config())
+
+    def test_default_engine_keeps_legacy_cell_keys(self):
+        """The axis is additive: engine=object cells carry the exact pre-axis key."""
+        from repro.experiments.matrix import CellSpec
+
+        legacy = CellSpec(scenario="static", protocol="croupier", size=60,
+                          seed_index=0, rounds=10)
+        assert "engine" not in legacy.key
+        columnar = CellSpec(scenario="static", protocol="croupier", size=60,
+                            seed_index=0, rounds=10, engine="columnar")
+        assert ";engine=columnar" in columnar.key
+        assert columnar.key.replace(";engine=columnar", "") == legacy.key
+
+    def test_columnar_cell_seed_differs_from_object(self):
+        from repro.experiments.matrix import CellSpec, derive_cell_seed
+
+        base = dict(scenario="static", protocol="croupier", size=60,
+                    seed_index=0, rounds=10)
+        assert derive_cell_seed(42, CellSpec(**base).key) != derive_cell_seed(
+            42, CellSpec(engine="columnar", **base).key
+        )
+
+    def test_matrix_validates_columnar_protocols(self):
+        from repro.experiments.matrix import MatrixSpec
+
+        spec = MatrixSpec(scenarios=("static",), protocols=("newscast",),
+                          sizes=(20,), seeds=1, rounds=5,
+                          engines=("columnar",))
+        with pytest.raises(ExperimentError):
+            spec.validate()
+
+    def test_matrix_runs_both_engines(self):
+        from repro.experiments.matrix import MatrixSpec
+        from repro.experiments.runner import run_matrix
+
+        spec = MatrixSpec(scenarios=("static",), protocols=("croupier",),
+                          sizes=(40,), seeds=1, rounds=8, latency="constant",
+                          engines=("object", "columnar"))
+        result = run_matrix(spec, workers=1)
+        assert not result.failed
+        groups = result.aggregate["groups"]
+        assert set(groups) == {
+            "scenario=static;protocol=croupier;size=40",
+            "scenario=static;protocol=croupier;engine=columnar;size=40",
+        }
+        for metrics in groups.values():
+            assert 0.0 < metrics["est_mean"]["mean"] < 1.0
+
+
+# -------------------------------------------------------------------- scale kind
+
+
+class TestScaleKind:
+    def test_scale_cell_runs_on_both_engines(self):
+        from repro.experiments.matrix import MatrixSpec
+        from repro.experiments.runner import run_matrix
+
+        spec = MatrixSpec(scenarios=("scale",), protocols=("croupier",),
+                          sizes=(50,), seeds=1, rounds=12, latency="constant",
+                          engines=("object", "columnar"))
+        result = run_matrix(spec, workers=1)
+        assert not result.failed
+        for payload in (r.payload for r in result.results):
+            assert "est_err_avg_final" in payload.scalars
+            assert "est_nodes_measured" in payload.scalars
+            assert "in_degree" in payload.histograms
+            assert "est_err_avg" in payload.series
+            # No graph walks at scale: the GraphProbe-only metrics are absent.
+            assert "path_length" not in payload.scalars
+            assert "clustering" not in payload.scalars
+
+    def test_scale_invariance_report_section(self):
+        from repro.experiments.matrix import MatrixSpec
+        from repro.experiments.report import matrix_markdown_summary
+        from repro.experiments.runner import run_matrix
+
+        spec = MatrixSpec(scenarios=("scale",), protocols=("croupier",),
+                          sizes=(40, 80), seeds=1, rounds=10, latency="constant",
+                          engines=("columnar",))
+        summary = matrix_markdown_summary(run_matrix(spec, workers=1).aggregate)
+        assert "## Scale invariance" in summary
+        assert "| columnar | 40 |" in summary
+        assert "| columnar | 80 |" in summary
+
+    def test_legacy_report_has_no_scale_section(self):
+        from repro.experiments.matrix import MatrixSpec
+        from repro.experiments.report import matrix_markdown_summary
+        from repro.experiments.runner import run_matrix
+
+        spec = MatrixSpec(scenarios=("static",), protocols=("croupier",),
+                          sizes=(30,), seeds=1, rounds=5, latency="constant")
+        summary = matrix_markdown_summary(run_matrix(spec, workers=1).aggregate)
+        assert "Scale invariance" not in summary
+
+    def test_run_scale_experiment_harness(self):
+        from repro.experiments.scale import run_scale_experiment
+
+        result = run_scale_experiment(nodes=300, rounds=20, seed=3,
+                                      churn_fraction=0.02, measure_every=2)
+        assert [v.label for v in result.variants] == ["static", "churn"]
+        for variant in result.variants:
+            assert variant.nodes_measured > 0
+            assert variant.final_avg_error is not None
+            assert variant.node_rounds_per_sec > 0
+            assert variant.peak_rss_mb > 0
+        text = result.to_text()
+        assert "static" in text and "churn" in text
+
+
+# ----------------------------------------------------------- cross-engine checks
+
+
+class TestCrossEngine:
+    def test_estimator_means_agree(self):
+        """The CI equivalence contract, in-process: both engines' mean estimates
+        converge to ω on the same population within loose tolerance."""
+        results = {}
+        for engine in ENGINES:
+            scenario = create_scenario(
+                ScenarioConfig(protocol="croupier", seed=9, latency="constant",
+                               engine=engine)
+            )
+            scenario.populate(20, 80)
+            scenario.run_rounds(40)
+            estimates = [e for e in collect_ratio_estimates(scenario)
+                         if e is not None]
+            results[engine] = sum(estimates) / len(estimates)
+        assert abs(results["object"] - results["columnar"]) < 0.05
+        for mean in results.values():
+            assert math.isfinite(mean)
+
+    def test_deepcopy_preserves_backend_choice(self):
+        scenario = make_scenario(seed=21, use_numpy=False)
+        clone = copy.deepcopy(scenario)
+        assert clone.engine.use_numpy is False

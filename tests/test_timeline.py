@@ -412,9 +412,10 @@ class TestMatrixAxis:
                          latency="constant")
         assert set(plain.scalars) == set(crowd.scalars)
         assert plain.scalars["live_nodes"] == 40.0
-        # flash-crowd at round 30 is beyond this 8-round horizon: nothing joins,
-        # but the cell still runs (timelines may outlive a cell's horizon).
-        assert crowd.scalars["live_nodes"] == 40.0
+        # flash-crowd is authored for a 60-round horizon; on this 8-round cell it
+        # compresses (factor 8/60), so the burst fires at round 4 and the 50%
+        # extra population is present at measurement time.
+        assert crowd.scalars["live_nodes"] == 60.0
 
 
 class TestCliIntegration:
@@ -521,3 +522,89 @@ class TestNatInDegreeKind:
         assert "Symmetric-NAT underrepresentation" in text
         relative = result.relative_to_public("croupier")
         assert relative.get("public") == pytest.approx(1.0)
+
+
+class TestHorizonScaling:
+    """Presets authored for a long horizon compress onto shorter cells; absolute
+    paper presets never scale (their round numbers ARE the figure)."""
+
+    def test_event_scaled_multiplies_round_fields_only(self):
+        wave = ChurnPhase(fraction_per_round=0.02, start_round=20.0,
+                          stop_round=50.0, ramp_rounds=10.0)
+        half = wave.scaled(0.5)
+        assert half.start_round == 10.0
+        assert half.stop_round == 25.0
+        assert half.ramp_rounds == 5.0
+        assert half.fraction_per_round == 0.02  # a rate, not a round
+
+    def test_event_scaled_skips_none_and_rejects_non_positive(self):
+        open_ended = ChurnPhase(fraction_per_round=0.01, start_round=61.0)
+        assert open_ended.scaled(0.5).stop_round is None
+        with pytest.raises(ExperimentError):
+            open_ended.scaled(0.0)
+        with pytest.raises(ExperimentError):
+            open_ended.scaled(-1.0)
+
+    def test_timeline_scaled_identity_at_factor_one(self):
+        timeline = get_timeline("diurnal")
+        assert timeline.scaled(1.0) is timeline
+        compressed = timeline.scaled(0.5)
+        assert [e.start_round for e in compressed.events] == [10.0, 35.0]
+        assert [e.stop_round for e in compressed.events] == [25.0, 50.0]
+
+    def test_preset_authored_horizons(self):
+        from repro.workload.timeline import TIMELINES
+
+        authored = {name: TIMELINES[name].authored_horizon_rounds
+                    for name in timeline_names()}
+        assert authored["flash-crowd"] == 60.0
+        assert authored["diurnal"] == 120.0
+        assert authored["partition-heal"] == 60.0
+        # Paper presets carry absolute round numbers (t=61 IS Figure 5/7(b)).
+        assert authored["paper-churn"] is None
+        assert authored["paper-failure"] is None
+
+    def test_timeline_for_horizon_compresses_only_shorter(self):
+        from repro.workload.timeline import TIMELINES
+
+        preset = TIMELINES["diurnal"]
+        # Horizon >= authored (or unknown): the authored timeline, verbatim.
+        assert preset.timeline_for_horizon(120.0) is preset.timeline
+        assert preset.timeline_for_horizon(500.0) is preset.timeline
+        assert preset.timeline_for_horizon(None) is preset.timeline
+        # Shorter horizon: both waves land inside the run, shape preserved.
+        at_60 = preset.timeline_for_horizon(60.0)
+        assert [e.start_round for e in at_60.events] == [10.0, 35.0]
+        assert [e.stop_round for e in at_60.events] == [25.0, 50.0]
+        assert [e.ramp_rounds for e in at_60.events] == [5.0, 5.0]
+
+    def test_paper_presets_never_scale(self):
+        from repro.workload.timeline import TIMELINES
+
+        preset = TIMELINES["paper-churn"]
+        assert preset.timeline_for_horizon(10.0) is preset.timeline
+        assert preset.timeline.events[0].start_round == 61.0
+
+    def test_cell_context_installs_scaled_timeline(self):
+        cell = CellSpec(scenario="static", protocol="croupier", size=30,
+                        seed_index=0, rounds=60, timeline="diurnal")
+        ctx = CellContext(cell=cell, seed=99, latency="constant")
+        installed = ctx.timeline
+        assert [e.start_round for e in installed.events] == [10.0, 35.0]
+
+    def test_cell_key_digest_still_hashes_authored_timeline(self):
+        # Scaling is an install-time detail: the digest in the cell key (and so
+        # the derived seed) must come from the authored timeline, or shortening
+        # a run would silently re-seed every cell.
+        authored_digest = get_timeline("diurnal").digest
+        cell = CellSpec(scenario="static", protocol="croupier", size=30,
+                        seed_index=0, rounds=60, timeline="diurnal")
+        assert f"timeline=diurnal@{authored_digest}" in cell.key
+
+    def test_scaled_preset_cell_runs_green(self):
+        # The second diurnal wave (authored rounds 70-100) would never fire in a
+        # 30-round cell; compression pulls it to rounds 17.5-25.
+        cell = CellSpec(scenario="static", protocol="croupier", size=30,
+                        seed_index=0, rounds=30, timeline="diurnal")
+        payload = run_cell(cell, root_seed=7, latency="constant")
+        assert payload.scalars["live_nodes"] == 30.0
