@@ -58,6 +58,14 @@ echo "== compileall =="
 python -m compileall -q src
 
 echo
+echo "== determinism lint (strict) =="
+# AST-based determinism & invariant gate (docs/determinism_lint.md). Runs in
+# seconds and before tier-1 so a seeding/ordering violation fails fast with a
+# file:line finding instead of a byte-diff three stages later. Strict mode also
+# fails on stale suppressions and allowlist entries.
+python -m repro lint src --strict
+
+echo
 echo "== tier-1 tests =="
 python -m pytest -x -q
 

@@ -14,6 +14,9 @@ Subcommands
     checkout.
 ``repro report <aggregate.json>``
     Re-render the markdown summary of a previously written matrix aggregate.
+``repro lint``
+    Run the AST-based determinism & invariant linter (``repro.lint``) over the
+    source tree — the cheapest of the CI gates, run ahead of tier-1.
 
 Examples, benchmarks and CI all drive these same code paths: the CI gate
 (``.github/workflows/ci.yml`` / ``scripts/ci.sh``) runs a mini-matrix through
@@ -291,6 +294,51 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 when the rendered aggregate contains degraded or failed cells "
         "(degraded = transient-fault retries exhausted)",
+    )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the determinism & invariant linter (AST-based, seconds)",
+    )
+    lint.add_argument(
+        "paths",
+        type=Path,
+        nargs="*",
+        help="files or directories to lint (default: the repro package sources)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="finding output format (json follows the repro-lint-v1 schema)",
+    )
+    lint.add_argument(
+        "--rules",
+        type=_csv_list,
+        default=None,
+        help="comma-separated rule ids to run (default: all; `--list-rules` shows them)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="audit the escape hatches too: unknown suppression rule ids and "
+        "unused suppressions/allowlist entries become findings (the CI mode)",
+    )
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files differing from the committed state (git diff HEAD "
+        "+ untracked) — fast local iteration; CI lints everything",
+    )
+    lint.add_argument(
+        "--allowlist",
+        type=Path,
+        default=None,
+        help="allowlist file (default: .repro-lint-allow discovered upward from "
+        "the first lint path)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
     )
 
     return parser
@@ -592,6 +640,51 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import Allowlist, all_rules, changed_files, run_lint
+
+    if args.list_rules:
+        print("registered lint rules:")
+        for rule in all_rules():
+            print(f"  {rule.id:<20} — {rule.description}")
+        return 0
+
+    if args.paths:
+        paths: List[Path] = list(args.paths)
+    else:
+        # Prefer the source checkout layout (what CI lints); fall back to the
+        # installed package so `repro lint` works from anywhere.
+        src = Path("src/repro")
+        paths = [src if src.is_dir() else Path(__file__).resolve().parent]
+
+    if args.changed:
+        changed = changed_files(Path.cwd())
+        roots = [Path(path).resolve() for path in paths]
+        paths = [
+            file
+            for file in changed
+            if any(
+                root == file.resolve() or root in file.resolve().parents
+                for root in roots
+            )
+        ]
+        if not paths:
+            print("lint: no changed python files under the requested paths")
+            return 0
+
+    allowlist = (
+        Allowlist.load(args.allowlist) if args.allowlist is not None else None
+    )
+    report = run_lint(
+        paths, rules=args.rules, strict=args.strict, allowlist=allowlist
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return report.exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     commands = {
@@ -599,6 +692,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "matrix": _cmd_matrix,
         "bench": _cmd_bench,
         "report": _cmd_report,
+        "lint": _cmd_lint,
     }
     try:
         return commands[args.command](args)

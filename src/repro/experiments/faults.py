@@ -30,6 +30,7 @@ Worker-fault kinds the runner records (:data:`FAULT_KINDS`):
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import json
 import random
@@ -159,7 +160,7 @@ class FaultPlan:
     def corrupt_payload(self, payload_json: Dict) -> Dict:
         """A deterministically mangled copy of a payload (injected *after* the
         integrity digest is computed, so the parent's check must catch it)."""
-        corrupted = json.loads(json.dumps(payload_json))
+        corrupted = copy.deepcopy(payload_json)
         scalars = corrupted.setdefault("scalars", {})
         scalars["__chaos_corruption__"] = 1.0
         return corrupted

@@ -1,0 +1,114 @@
+"""The committed allowlist: legitimate violations, recorded and reviewable.
+
+Some wall-clock sites are *supposed* to exist — the matrix runner times cell
+execution for journal diagnostics, the scale harness reports node·rounds/s — and
+an inline suppression per call would drown those files in comments. The allowlist
+(``.repro-lint-allow`` at the repo root) records them centrally, one entry per
+line::
+
+    # rule          path-suffix                          scope
+    wall-clock      src/repro/experiments/runner.py      *
+
+* ``rule`` is a registered rule id.
+* ``path-suffix`` matches the end of a finding's posix path, so entries survive
+  checkout relocation.
+* ``scope`` (optional, default ``*``) is the qualified name of the enclosing
+  function/class (as printed by ``--format json``) or ``*`` for the whole file.
+
+Every entry must be justified in ``docs/determinism_lint.md``; ``--strict`` (the
+CI mode) errors on entries that no longer match anything, so the list cannot rot.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.context import LintError
+from repro.lint.findings import Finding
+
+#: Default allowlist filename, looked up at the repo root.
+ALLOWLIST_FILENAME = ".repro-lint-allow"
+
+
+class AllowlistEntry:
+    """One parsed allowlist line."""
+
+    __slots__ = ("rule", "path_suffix", "scope", "line", "hits")
+
+    def __init__(self, rule: str, path_suffix: str, scope: str, line: int) -> None:
+        self.rule = rule
+        self.path_suffix = path_suffix
+        self.scope = scope
+        self.line = line
+        self.hits = 0
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule != self.rule:
+            return False
+        if not finding.path.endswith(self.path_suffix):
+            return False
+        return self.scope == "*" or finding.scope == self.scope
+
+    def describe(self) -> str:
+        return f"{self.rule} {self.path_suffix} {self.scope}"
+
+
+class Allowlist:
+    """The parsed allowlist plus usage tracking for the strict gate."""
+
+    __slots__ = ("entries", "source_path")
+
+    def __init__(self, entries: List[AllowlistEntry], source_path: Optional[Path]):
+        self.entries = entries
+        self.source_path = source_path
+
+    @classmethod
+    def empty(cls) -> "Allowlist":
+        return cls([], None)
+
+    @classmethod
+    def load(cls, path: Path) -> "Allowlist":
+        entries: List[AllowlistEntry] = []
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise LintError(f"cannot read allowlist {path}: {error}") from None
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) not in (2, 3):
+                raise LintError(
+                    f"{path}:{lineno}: allowlist entries are "
+                    f"'<rule> <path-suffix> [scope]', got {raw.strip()!r}"
+                )
+            rule, path_suffix = fields[0], fields[1]
+            scope = fields[2] if len(fields) == 3 else "*"
+            entries.append(AllowlistEntry(rule, path_suffix, scope, lineno))
+        return cls(entries, path)
+
+    @classmethod
+    def discover(cls, start: Path) -> "Allowlist":
+        """Find ``.repro-lint-allow`` by walking up from ``start`` (a lint target)."""
+        candidate = start if start.is_dir() else start.parent
+        for directory in [candidate, *candidate.resolve().parents]:
+            path = directory / ALLOWLIST_FILENAME
+            if path.exists():
+                return cls.load(path)
+        return cls.empty()
+
+    def allows(self, finding: Finding) -> bool:
+        allowed = False
+        for entry in self.entries:
+            if entry.matches(finding):
+                entry.hits += 1
+                allowed = True
+        return allowed
+
+    def unused_entries(self) -> List[AllowlistEntry]:
+        return [entry for entry in self.entries if entry.hits == 0]
+
+    def unknown_rules(self, known_ids) -> List[AllowlistEntry]:
+        return [entry for entry in self.entries if entry.rule not in known_ids]

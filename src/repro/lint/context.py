@@ -1,0 +1,308 @@
+"""Per-file analysis context shared by every lint rule.
+
+A :class:`FileContext` parses one source file once and exposes what rules need:
+
+* the ``ast`` tree plus a line → enclosing-scope map (for allowlist scoping);
+* inline suppression comments — ``# repro-lint: allow[rule-a,rule-b]`` on a code
+  line suppresses that line, on a standalone line it suppresses the next line;
+* an import-alias table that normalizes call targets to dotted names
+  (``from time import perf_counter as pc; pc()`` → ``time.perf_counter``), so
+  rules match semantics, not spellings;
+* a :class:`ModuleResolver` that parses sibling ``repro.*`` modules on demand and
+  answers "which capability ABCs does this class transitively inherit?" — the
+  static half of what :func:`repro.membership.capabilities.capabilities_of` does
+  at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+
+
+class LintError(ReproError):
+    """The linter itself was misconfigured (bad rule id, unreadable allowlist, ...)."""
+
+
+#: Inline suppression syntax. The rule list is comma-separated; ids must be
+#: registered (``--strict`` turns unknown ids into findings instead of silence).
+SUPPRESS_RE = re.compile(r"repro-lint:\s*allow\[([^\]]*)\]")
+
+
+class Suppression:
+    """One parsed ``repro-lint: allow[...]`` comment."""
+
+    __slots__ = ("line", "target_line", "rules", "used")
+
+    def __init__(self, line: int, target_line: int, rules: Tuple[str, ...]) -> None:
+        self.line = line  # where the comment sits (reported in strict findings)
+        self.target_line = target_line  # the line whose findings it suppresses
+        self.rules = rules
+        self.used = False
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class FileContext:
+    """Everything the rules need to know about one parsed source file."""
+
+    def __init__(self, path: Path, display_path: str, source: str) -> None:
+        self.path = path
+        #: Repo-relative posix path used in findings and allowlist matching.
+        self.display_path = display_path
+        self.source = source
+        self.tree = ast.parse(source, filename=display_path)
+        self.suppressions = self._parse_suppressions(source)
+        #: alias → dotted module or module.attr, from import statements.
+        self.import_aliases = self._parse_imports(self.tree)
+        self._scope_spans = self._scope_map(self.tree)
+
+    # ------------------------------------------------------------------ parsing
+
+    @staticmethod
+    def _parse_suppressions(source: str) -> List[Suppression]:
+        suppressions: List[Suppression] = []
+        code_lines: Set[int] = set()
+        comments: List[Tuple[int, str]] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    comments.append((token.start[0], token.string))
+                elif token.type not in (
+                    tokenize.NL,
+                    tokenize.NEWLINE,
+                    tokenize.INDENT,
+                    tokenize.DEDENT,
+                    tokenize.ENCODING,
+                    tokenize.ENDMARKER,
+                ):
+                    code_lines.add(token.start[0])
+        except tokenize.TokenError:
+            # ast.parse succeeded, so this is a tokenizer edge case; no comments
+            # is the safe (non-suppressing) answer.
+            return []
+        for line, text in comments:
+            match = SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = tuple(
+                rule.strip() for rule in match.group(1).split(",") if rule.strip()
+            )
+            target = line if line in code_lines else line + 1
+            suppressions.append(Suppression(line, target, rules))
+        return suppressions
+
+    @staticmethod
+    def _parse_imports(tree: ast.Module) -> Dict[str, str]:
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    aliases[item.asname or item.name.split(".")[0]] = (
+                        item.name if item.asname else item.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+        return aliases
+
+    @staticmethod
+    def _scope_map(tree: ast.Module) -> List[Tuple[int, int, str]]:
+        spans: List[Tuple[int, int, str]] = []
+
+        def visit(node: ast.AST, prefix: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    name = f"{prefix}.{child.name}" if prefix else child.name
+                    end = getattr(child, "end_lineno", child.lineno) or child.lineno
+                    spans.append((child.lineno, end, name))
+                    visit(child, name)
+                else:
+                    visit(child, prefix)
+
+        visit(tree, "")
+        # Inner-most scope must win: sort by span start so later (nested, hence
+        # shorter and later-starting) spans override on lookup.
+        spans.sort(key=lambda span: (span[0], -span[1]))
+        return spans
+
+    # ------------------------------------------------------------------ queries
+
+    def scope_at(self, line: int) -> str:
+        """Qualified name of the innermost def/class enclosing ``line``."""
+        best = "<module>"
+        for start, end, name in self._scope_spans:
+            if start <= line <= end:
+                best = name
+            elif start > line:
+                break
+        return best
+
+    def resolve_call_target(self, func: ast.AST) -> Optional[str]:
+        """Normalized dotted name of a call target, through import aliases.
+
+        ``pc()`` after ``from time import perf_counter as pc`` resolves to
+        ``time.perf_counter``; ``self.anything()`` resolves to ``None`` (rules
+        never guess about attribute access on objects).
+        """
+        dotted = _dotted(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        expansion = self.import_aliases.get(head)
+        if expansion is not None:
+            dotted = f"{expansion}.{rest}" if rest else expansion
+        return dotted
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """Does an inline comment suppress ``rule`` on ``line``? Marks the
+        matching suppression(s) used — only genuinely matching ones, so the
+        strict unused-suppression audit stays truthful."""
+        hit = False
+        for suppression in self.suppressions:
+            if suppression.target_line == line and rule in suppression.rules:
+                suppression.used = True
+                hit = True
+        return hit
+
+
+# ---------------------------------------------------------------- class resolver
+
+
+class ModuleClasses:
+    """The classes one module defines: name → base expressions (dotted strings)."""
+
+    __slots__ = ("bases", "import_aliases")
+
+    def __init__(self, bases: Dict[str, List[str]], import_aliases: Dict[str, str]):
+        self.bases = bases
+        self.import_aliases = import_aliases
+
+
+class ModuleResolver:
+    """Cross-module, AST-only class-hierarchy resolution for ``repro.*`` modules.
+
+    Rules that reason about inheritance (capability conformance) need to see
+    through ``class Croupier(PeerSamplingService, ...)`` into
+    ``repro.membership.base`` without importing anything. The resolver maps a
+    dotted module name to its source file — preferring the tree the linted file
+    lives in, falling back to the installed ``repro`` package for standalone
+    fixtures — parses it once, and walks base-class edges transitively.
+    """
+
+    def __init__(self, package_root: Optional[Path] = None) -> None:
+        #: Directory that contains the ``repro/`` package directory.
+        self.package_root = package_root
+        self._cache: Dict[str, Optional[ModuleClasses]] = {}
+
+    @staticmethod
+    def for_file(path: Path) -> "ModuleResolver":
+        for parent in path.resolve().parents:
+            if (parent / "repro" / "__init__.py").exists():
+                return ModuleResolver(parent)
+        try:
+            import repro
+
+            return ModuleResolver(Path(repro.__file__).resolve().parents[1])
+        except Exception:
+            return ModuleResolver(None)
+
+    def _module_classes(self, module: str) -> Optional[ModuleClasses]:
+        if module in self._cache:
+            return self._cache[module]
+        result: Optional[ModuleClasses] = None
+        if self.package_root is not None and module.split(".")[0] == "repro":
+            candidate = self.package_root.joinpath(*module.split("."))
+            for path in (candidate.with_suffix(".py"), candidate / "__init__.py"):
+                if path.exists():
+                    try:
+                        tree = ast.parse(path.read_text())
+                    except (OSError, SyntaxError):
+                        break
+                    bases = {
+                        node.name: [
+                            base
+                            for base in map(_dotted, node.bases)
+                            if base is not None
+                        ]
+                        for node in tree.body
+                        if isinstance(node, ast.ClassDef)
+                    }
+                    result = ModuleClasses(bases, FileContext._parse_imports(tree))
+                    break
+        self._cache[module] = result
+        return result
+
+    def transitive_bases(
+        self, module: str, class_name: str, _depth: int = 0, _seen: Optional[Set] = None
+    ) -> Set[str]:
+        """Every dotted base name reachable from ``module.class_name`` (the class
+        itself included), resolving import aliases module by module. Unknown
+        modules (stdlib, third-party) terminate the walk — their names still
+        appear in the result, they just contribute no further edges."""
+        seen: Set[str] = set() if _seen is None else _seen
+        key = f"{module}.{class_name}"
+        if key in seen or _depth > 20:
+            return seen
+        seen.add(key)
+        classes = self._module_classes(module)
+        if classes is None or class_name not in classes.bases:
+            return seen
+        for base in classes.bases[class_name]:
+            head, _, rest = base.partition(".")
+            expansion = classes.import_aliases.get(head)
+            if expansion is None:
+                if "." in base:  # e.g. ``abc.ABC`` with no matching import: opaque
+                    seen.add(base)
+                    continue
+                base_module, base_class = module, base
+            elif rest:
+                base_module, base_class = expansion, rest
+            else:
+                base_module, _, base_class = expansion.rpartition(".")
+            # The recursive call records the base's own key before expanding it —
+            # adding it here first would trip the cycle guard and stop the walk
+            # one level deep.
+            self.transitive_bases(base_module or module, base_class, _depth + 1, seen)
+        return seen
+
+    def capability_names(self) -> Set[str]:
+        """The capability ABC names, read statically from
+        ``repro.membership.capabilities`` (classes transitively inheriting the
+        ``Capability`` marker). Falls back to the documented trio if the module
+        cannot be located."""
+        module = "repro.membership.capabilities"
+        classes = self._module_classes(module)
+        if classes is None:
+            return {"OverlaySampling", "RatioEstimating", "NatAware"}
+        names = {
+            name
+            for name in classes.bases
+            if name != "Capability"
+            and any(
+                base.endswith("Capability")
+                for base in self.transitive_bases(module, name)
+            )
+        }
+        return names or {"OverlaySampling", "RatioEstimating", "NatAware"}

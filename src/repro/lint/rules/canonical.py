@@ -1,0 +1,183 @@
+"""Canonical-output hygiene: bytes that get digested must be order-stable.
+
+Aggregates, journals, timeline documents and payload digests are compared with
+``cmp`` and ``sha256`` across worker counts, backends and PRs. Two sources of
+silent byte drift are dict/set ordering and ``json.dumps`` defaulting to
+insertion order; these rules fire in the canonical-module tier
+(:data:`repro.lint.policy.CANONICAL_MODULES`):
+
+``unsorted-json``
+    ``json.dumps`` without ``sort_keys=True``. Insertion order is a refactoring
+    hazard: reordering two assignments in a payload builder re-keys every digest.
+
+``unsorted-iteration``
+    Iterating a ``set`` (literal or call), ``os.listdir``, ``glob.glob`` /
+    ``iglob`` or ``Path.iterdir``/``glob``/``rglob`` result directly. Set order
+    varies with hash randomization across processes; directory order varies with
+    the filesystem. Wrap the iterable in ``sorted(...)``.
+
+``json-roundtrip-copy``
+    ``json.loads(json.dumps(x))`` (checked repo-wide, not just the canonical
+    tier). As a deep-copy idiom it silently re-orders nothing today but degrades
+    floats/ints subtly (``NaN``, int keys → str) and couples a *copy* to the
+    serialization rules this tier exists to protect; use ``copy.deepcopy``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.policy import is_canonical_module
+from repro.lint.registry import register_rule
+
+#: Call targets (normalized dotted names) whose result order is filesystem- or
+#: hash-dependent.
+_UNORDERED_CALLS = {
+    "set",
+    "frozenset",
+    "os.listdir",
+    "os.scandir",
+    "glob.glob",
+    "glob.iglob",
+}
+
+#: Method names (we cannot resolve the receiver's type statically) whose result
+#: order is filesystem-dependent on ``pathlib.Path``; narrow enough that false
+#: positives are unlikely in this codebase.
+_UNORDERED_METHODS = {"iterdir", "rglob"}
+
+
+def _finding(context: FileContext, node: ast.AST, rule: str, message: str) -> Finding:
+    return Finding(
+        path=context.display_path,
+        line=node.lineno,
+        col=node.col_offset,
+        rule=rule,
+        message=message,
+        scope=context.scope_at(node.lineno),
+    )
+
+
+def check_unsorted_json(context: FileContext) -> List[Finding]:
+    if not is_canonical_module(context.display_path):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if context.resolve_call_target(node.func) != "json.dumps":
+            continue
+        sort_keys = next(
+            (kw.value for kw in node.keywords if kw.arg == "sort_keys"), None
+        )
+        is_true = isinstance(sort_keys, ast.Constant) and sort_keys.value is True
+        if not is_true:
+            findings.append(
+                _finding(
+                    context,
+                    node,
+                    "unsorted-json",
+                    "json.dumps in a canonical-output module needs sort_keys=True; "
+                    "insertion order is not a stable byte contract",
+                )
+            )
+    return findings
+
+
+def _unordered_reason(context: FileContext, node: ast.AST) -> Optional[str]:
+    """Why ``node`` (an iterable expression) has unstable order, or None."""
+    if isinstance(node, ast.Set):
+        return "a set literal iterates in hash order"
+    if isinstance(node, ast.Call):
+        target = context.resolve_call_target(node.func)
+        if target in _UNORDERED_CALLS:
+            return f"{target}(...) has no stable iteration order"
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _UNORDERED_METHODS
+        ):
+            return f".{node.func.attr}(...) yields entries in filesystem order"
+    return None
+
+
+def check_unsorted_iteration(context: FileContext) -> List[Finding]:
+    if not is_canonical_module(context.display_path):
+        return []
+    findings: List[Finding] = []
+    iterables: List[ast.AST] = []
+    for node in ast.walk(context.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iterables.append(node.iter)
+        elif isinstance(node, ast.comprehension):
+            iterables.append(node.iter)
+    for iterable in iterables:
+        reason = _unordered_reason(context, iterable)
+        if reason is not None:
+            findings.append(
+                _finding(
+                    context,
+                    iterable,
+                    "unsorted-iteration",
+                    f"{reason}; wrap it in sorted(...) — this module's output is "
+                    f"compared byte-for-byte",
+                )
+            )
+    return findings
+
+
+def check_json_roundtrip_copy(context: FileContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if context.resolve_call_target(node.func) != "json.loads":
+            continue
+        if len(node.args) != 1 or not isinstance(node.args[0], ast.Call):
+            continue
+        if context.resolve_call_target(node.args[0].func) == "json.dumps":
+            findings.append(
+                _finding(
+                    context,
+                    node,
+                    "json-roundtrip-copy",
+                    "json.loads(json.dumps(x)) as a deep copy degrades values "
+                    "(int keys, NaN, tuples); use copy.deepcopy(x)",
+                )
+            )
+    return findings
+
+
+register_rule(
+    "unsorted-json",
+    check_unsorted_json,
+    description="json.dumps needs sort_keys=True in canonical-output modules",
+    rationale=(
+        "aggregate/journal/timeline bytes are cmp'd and digested across workers, "
+        "backends and PRs (PR 2/5/6); key order must survive refactors"
+    ),
+)
+
+register_rule(
+    "unsorted-iteration",
+    check_unsorted_iteration,
+    description=(
+        "no set/listdir/glob-order iteration in canonical-output modules"
+    ),
+    rationale=(
+        "set and directory iteration order varies across processes and "
+        "filesystems, which would break the 4-vs-1 worker byte-parity gate"
+    ),
+)
+
+register_rule(
+    "json-roundtrip-copy",
+    check_json_roundtrip_copy,
+    description="json.loads(json.dumps(x)) deep-copy idiom — use copy.deepcopy",
+    rationale=(
+        "the round trip silently rewrites values and couples copying to "
+        "serialization semantics; deep copies must be copies"
+    ),
+)

@@ -1,0 +1,217 @@
+"""Capability conformance: plugin declarations must match the classes behind them.
+
+``capability-mismatch`` statically cross-checks every ``register_protocol(...)``
+call against the factory class it registers:
+
+* the factory class must (transitively) inherit ``OverlaySampling`` — every
+  peer-sampling protocol owes the core sampling contract, and the probes and
+  harnesses assume it;
+* an explicit ``capabilities=frozenset({...})`` argument must name exactly the
+  capability ABCs the class actually inherits — an over-declaration would make
+  ``Scenario.services_with`` hand the component to a probe that calls methods it
+  does not have, an under-declaration hides a real capability from the matrix.
+
+Inheritance is resolved through :class:`repro.lint.context.ModuleResolver` —
+pure-AST walking of ``repro.*`` sources across module boundaries (``Croupier`` →
+``PeerSamplingService`` in ``membership/base.py`` → ``OverlaySampling``) — so the
+check needs no imports and runs on unimportable work-in-progress code. Factories
+that are not resolvable classes (functions, re-exports) are skipped: the runtime
+registry already forces those registrations to pass capabilities explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.lint.context import FileContext, ModuleResolver
+from repro.lint.findings import Finding
+from repro.lint.registry import register_rule
+
+
+def _finding(context: FileContext, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        path=context.display_path,
+        line=node.lineno,
+        col=node.col_offset,
+        rule="capability-mismatch",
+        message=message,
+        scope=context.scope_at(node.lineno),
+    )
+
+
+def _declared_capability_names(node: ast.AST) -> Optional[Set[str]]:
+    """Names inside ``capabilities=frozenset({A, B})`` / ``{A, B}`` / ``(A, B)``."""
+    if isinstance(node, ast.Call) and len(node.args) == 1:
+        # frozenset({...}) / set([...]) — unwrap the single argument.
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        names: Set[str] = set()
+        for element in node.elts:
+            if isinstance(element, ast.Name):
+                names.add(element.id)
+            elif isinstance(element, ast.Attribute):
+                names.add(element.attr)
+            else:
+                return None  # computed element: not statically checkable
+        return names
+    return None
+
+
+def check_capability_conformance(context: FileContext) -> List[Finding]:
+    calls = [
+        node
+        for node in ast.walk(context.tree)
+        if isinstance(node, ast.Call)
+        and context.resolve_call_target(node.func) is not None
+        and context.resolve_call_target(node.func).endswith("register_protocol")
+    ]
+    if not calls:
+        return []
+
+    resolver = ModuleResolver.for_file(context.path)
+    capability_names = resolver.capability_names()
+    # The linted file itself may be unsaved/fixture content; resolve its own
+    # classes from the parsed tree, not the disk copy the resolver would load.
+    local_bases = {
+        node.name: node.bases
+        for node in context.tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+
+    findings: List[Finding] = []
+    for call in calls:
+        factory = next(
+            (kw.value for kw in call.keywords if kw.arg == "factory"),
+            call.args[1] if len(call.args) > 1 else None,
+        )
+        if not isinstance(factory, ast.Name):
+            continue  # non-class or computed factory: runtime registry handles it
+        implemented = _implemented_capabilities(
+            context, resolver, capability_names, local_bases, factory.id
+        )
+        if implemented is None:
+            continue  # factory not resolvable to a class definition
+        protocol = ""
+        if call.args and isinstance(call.args[0], ast.Constant):
+            protocol = f" (protocol {call.args[0].value!r})"
+        if "OverlaySampling" not in implemented:
+            findings.append(
+                _finding(
+                    context,
+                    call,
+                    f"factory class {factory.id!r}{protocol} does not inherit "
+                    f"OverlaySampling — every registered protocol must provide "
+                    f"the core sampling capability",
+                )
+            )
+        declared_node = next(
+            (kw.value for kw in call.keywords if kw.arg == "capabilities"), None
+        )
+        if declared_node is None:
+            continue  # derived at registration time; nothing to drift
+        declared = _declared_capability_names(declared_node)
+        if declared is None:
+            continue
+        missing = sorted(declared - implemented)
+        undeclared = sorted(implemented - declared)
+        if missing or undeclared:
+            details = []
+            if missing:
+                details.append(f"declares {missing} without inheriting them")
+            if undeclared:
+                details.append(f"inherits {undeclared} without declaring them")
+            findings.append(
+                _finding(
+                    context,
+                    call,
+                    f"capability set of {factory.id!r}{protocol} "
+                    f"{' and '.join(details)}; declared capabilities must equal "
+                    f"the ABCs the class implements",
+                )
+            )
+    return findings
+
+
+def _implemented_capabilities(
+    context: FileContext,
+    resolver: ModuleResolver,
+    capability_names: Set[str],
+    local_bases,
+    class_name: str,
+) -> Optional[Set[str]]:
+    """Capability ABC names ``class_name`` transitively inherits, or None if the
+    name does not resolve to a class we can see."""
+    reachable: Set[str] = set()
+    if class_name in local_bases:
+        for base in local_bases[class_name]:
+            base_ref = _base_ref(context, base)
+            if base_ref is None:
+                continue
+            module, _, name = base_ref.rpartition(".")
+            reachable.add(base_ref)
+            reachable |= resolver.transitive_bases(module, name) if module else set()
+            if not module:
+                reachable |= _local_closure(context, resolver, local_bases, name)
+    else:
+        imported = context.import_aliases.get(class_name)
+        if imported is None:
+            return None
+        module, _, name = imported.rpartition(".")
+        if not module:
+            return None
+        reachable = resolver.transitive_bases(module, name)
+        if len(reachable) <= 1 and name not in capability_names:
+            return None  # module not resolvable: stay silent rather than guess
+    return {name for name in capability_names if _mentions(reachable, name)}
+
+
+def _base_ref(context: FileContext, base: ast.AST) -> Optional[str]:
+    if isinstance(base, ast.Name):
+        return context.import_aliases.get(base.id, base.id)
+    if isinstance(base, ast.Attribute):
+        return context.resolve_call_target(base)
+    return None
+
+
+def _local_closure(
+    context: FileContext, resolver: ModuleResolver, local_bases, name: str
+) -> Set[str]:
+    """Transitive bases of a class defined in the linted file itself."""
+    reachable: Set[str] = set()
+    stack = [name]
+    while stack:
+        current = stack.pop()
+        if current in reachable:
+            continue
+        reachable.add(current)
+        for base in local_bases.get(current, ()):
+            ref = _base_ref(context, base)
+            if ref is None:
+                continue
+            module, _, base_name = ref.rpartition(".")
+            reachable.add(ref)
+            if module:
+                reachable |= resolver.transitive_bases(module, base_name)
+            else:
+                stack.append(base_name)
+    return reachable
+
+
+def _mentions(reachable: Set[str], capability: str) -> bool:
+    return any(
+        ref == capability or ref.endswith(f".{capability}") for ref in reachable
+    )
+
+
+register_rule(
+    "capability-mismatch",
+    check_capability_conformance,
+    description=(
+        "register_protocol declarations must match the ABCs the factory implements"
+    ),
+    rationale=(
+        "the capability registry (PR 3) replaced isinstance checks everywhere; a "
+        "drifted declaration routes components to probes whose methods they lack"
+    ),
+)

@@ -1,0 +1,185 @@
+"""RNG discipline: every random draw must trace to ``derive_seed``.
+
+The whole reproduction rests on one chain of custody: a cell's root seed →
+``derive_seed(root, *labels)`` → an injected ``random.Random`` stream → every
+draw. Three rules guard it:
+
+``global-rng``
+    No calls to the ``random`` module's top-level functions (``random.random()``,
+    ``random.choice(...)``, or the same names imported directly). They consume the
+    hidden process-global Mersenne Twister, whose state depends on import order,
+    worker identity and every other caller — the exact nondeterminism the 4-vs-1
+    worker parity gate exists to catch, detected here before it runs.
+
+``unseeded-rng``
+    No ``random.Random()`` without a seed argument (it seeds from OS entropy) and
+    no ``random.SystemRandom`` (pure entropy, unseedable). A constructed stream
+    must be handed its seed — in this repo, a ``derive_seed`` value.
+
+``global-seed``
+    No ``random.seed(...)`` / ``numpy.random.seed(...)``: re-seeding the global
+    generator is how "deterministic" scripts silently couple to each other. It
+    also flags any other ``numpy.random`` usage — numpy streams are not part of
+    this repo's determinism story (the columnar engine draws from injected
+    ``random.Random`` streams precisely so numpy stays optional).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.policy import GLOBAL_RNG_FUNCTIONS, NUMPY_RANDOM_PREFIXES
+from repro.lint.registry import register_rule
+
+
+def _finding(context: FileContext, node: ast.AST, rule: str, message: str) -> Finding:
+    return Finding(
+        path=context.display_path,
+        line=node.lineno,
+        col=node.col_offset,
+        rule=rule,
+        message=message,
+        scope=context.scope_at(node.lineno),
+    )
+
+
+def check_global_rng(context: FileContext) -> List[Finding]:
+    findings: List[Finding] = []
+    global_targets = {f"random.{name}" for name in GLOBAL_RNG_FUNCTIONS}
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Call):
+            target = context.resolve_call_target(node.func)
+            if target in global_targets:
+                findings.append(
+                    _finding(
+                        context,
+                        node,
+                        "global-rng",
+                        f"{target}() draws from the process-global RNG; draw from "
+                        f"an injected random.Random seeded via derive_seed instead",
+                    )
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module == "random":
+            # ``from random import choice`` makes the global stream look local;
+            # flag the import so the aliasing never takes root. (``Random`` and
+            # ``SystemRandom`` are class imports, handled by unseeded-rng.)
+            for item in node.names:
+                if item.name in GLOBAL_RNG_FUNCTIONS:
+                    findings.append(
+                        _finding(
+                            context,
+                            node,
+                            "global-rng",
+                            f"'from random import {item.name}' imports a global-RNG "
+                            f"function; inject a random.Random stream instead",
+                        )
+                    )
+    return findings
+
+
+def check_unseeded_rng(context: FileContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = context.resolve_call_target(node.func)
+        if target == "random.Random" and not node.args:
+            findings.append(
+                _finding(
+                    context,
+                    node,
+                    "unseeded-rng",
+                    "random.Random() with no seed draws its state from OS entropy; "
+                    "pass a derive_seed(...) value",
+                )
+            )
+        elif target == "random.SystemRandom":
+            findings.append(
+                _finding(
+                    context,
+                    node,
+                    "unseeded-rng",
+                    "random.SystemRandom is unseedable entropy and can never "
+                    "reproduce; use random.Random(derive_seed(...))",
+                )
+            )
+    return findings
+
+
+def check_global_seed(context: FileContext) -> List[Finding]:
+    findings: List[Finding] = []
+    # Only the outermost attribute of a chain is a site: ``numpy.random.seed``
+    # contains the ``numpy.random`` node and must report once, not twice.
+    inner_attributes = {
+        id(node.value)
+        for node in ast.walk(context.tree)
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Attribute)
+    }
+    for node in ast.walk(context.tree):
+        target = None
+        if isinstance(node, ast.Call):
+            target = context.resolve_call_target(node.func)
+        elif isinstance(node, ast.Attribute) and id(node) not in inner_attributes:
+            target = context.resolve_call_target(node)
+        if target is None:
+            continue
+        if isinstance(node, ast.Call) and target == "random.seed":
+            findings.append(
+                _finding(
+                    context,
+                    node,
+                    "global-seed",
+                    "random.seed() mutates the process-global generator shared by "
+                    "every caller; seed an injected random.Random instead",
+                )
+            )
+        elif isinstance(node, ast.Attribute) and any(
+            target == prefix or target.startswith(prefix + ".")
+            for prefix in NUMPY_RANDOM_PREFIXES
+        ):
+            findings.append(
+                _finding(
+                    context,
+                    node,
+                    "global-seed",
+                    f"{target} uses numpy's hidden RNG state, which is outside this "
+                    f"repo's derive_seed chain; draw from an injected random.Random",
+                )
+            )
+    return findings
+
+
+register_rule(
+    "global-rng",
+    check_global_rng,
+    description=(
+        "randomness must flow through injected, seed-derived random.Random streams"
+    ),
+    rationale=(
+        "byte-identical aggregates across worker counts (PR 2) require every draw "
+        "to come from a derive_seed-derived stream, never the process-global RNG"
+    ),
+)
+
+register_rule(
+    "unseeded-rng",
+    check_unseeded_rng,
+    description="random.Random() must be given a seed (a derive_seed value)",
+    rationale=(
+        "an unseeded stream reseeds from OS entropy on every construction, so the "
+        "same cell produces different bytes on every run"
+    ),
+)
+
+register_rule(
+    "global-seed",
+    check_global_seed,
+    description="no random.seed() / numpy.random use — both are hidden global state",
+    rationale=(
+        "re-seeding shared generators couples unrelated components; numpy streams "
+        "are outside the derive_seed custody chain the parity gates verify"
+    ),
+)

@@ -1,0 +1,99 @@
+"""Hot-path ``__slots__`` coverage: the allocation tiers PR 1 optimised stay lean.
+
+``missing-slots`` requires every class defined in a slots-tier module
+(:data:`repro.lint.policy.SLOTS_MODULES`: descriptors, partial views, messages)
+to declare ``__slots__`` in its body or use ``@dataclass(slots=True)``. These
+objects are allocated per node per round at 10^5-node scale; a single slipped
+``__dict__`` on a descriptor-tier class costs ~50% extra memory per instance and
+regresses exactly the hot paths the BENCH trajectory pins. Exempt by
+construction: ``Enum``/``Exception`` subclasses (both are registry-like, not
+per-round allocations, and CPython constrains slotting them).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.policy import is_slots_module
+from repro.lint.registry import register_rule
+
+_EXEMPT_BASE_SUFFIXES = ("Enum", "Exception", "Error", "Warning")
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for statement in node.body:
+        targets = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _dataclass_with_slots(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = decorator.func
+        attr = name.attr if isinstance(name, ast.Attribute) else getattr(name, "id", "")
+        if attr != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "slots"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def _is_exempt(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", "")
+        if name.endswith(_EXEMPT_BASE_SUFFIXES):
+            return True
+    return False
+
+
+def check_missing_slots(context: FileContext) -> List[Finding]:
+    if not is_slots_module(context.display_path):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if _declares_slots(node) or _dataclass_with_slots(node) or _is_exempt(node):
+            continue
+        findings.append(
+            Finding(
+                path=context.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule="missing-slots",
+                message=(
+                    f"class {node.name!r} is in a hot-path module but declares no "
+                    f"__slots__; per-instance __dict__ here regresses the PR 1 "
+                    f"memory/speed wins the BENCH trajectory pins"
+                ),
+                scope=context.scope_at(node.lineno),
+            )
+        )
+    return findings
+
+
+register_rule(
+    "missing-slots",
+    check_missing_slots,
+    description="classes in descriptor/view/message-tier modules need __slots__",
+    rationale=(
+        "these objects are allocated per node per round at 1e5-node scale; "
+        "PR 1's 3.3x hot-path win depends on them staying __dict__-free"
+    ),
+)

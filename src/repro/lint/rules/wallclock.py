@@ -1,0 +1,63 @@
+"""Wall-clock containment: real time must never reach reproducible bytes.
+
+``wall-clock`` flags every call to an ambient-nondeterminism source — ``time.*``
+clocks, ``datetime.now``-family constructors, ``uuid1``/``uuid4``, ``os.urandom``
+and the ``secrets`` module (the full table is
+:data:`repro.lint.policy.WALLCLOCK_CALLS`). The simulator has its own virtual
+clock; measurement payloads are pure functions of the seed; anything that needs
+"now" for *diagnostics* (the runner's per-cell ``duration_s`` journal field, the
+scale harness's node·rounds/s throughput line — both deliberately kept out of
+aggregate bytes since PR 6) is recorded in the committed allowlist with a
+justification in ``docs/determinism_lint.md``, not silently tolerated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.policy import WALLCLOCK_CALLS
+from repro.lint.registry import register_rule
+
+
+def check_wall_clock(context: FileContext) -> List[Finding]:
+    findings: List[Finding] = []
+    targets = set(WALLCLOCK_CALLS)
+    # ``from datetime import datetime`` then ``datetime.now()`` resolves to
+    # ``datetime.datetime.now`` via the alias table; ``import datetime`` then
+    # ``datetime.datetime.now()`` resolves identically, so one table serves both.
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = context.resolve_call_target(node.func)
+        if target in targets:
+            findings.append(
+                Finding(
+                    path=context.display_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="wall-clock",
+                    message=(
+                        f"{target}() is wall-clock/entropy and differs between "
+                        f"identically-seeded runs; use the simulator's virtual "
+                        f"clock, or allowlist a justified diagnostic site"
+                    ),
+                    scope=context.scope_at(node.lineno),
+                )
+            )
+    return findings
+
+
+register_rule(
+    "wall-clock",
+    check_wall_clock,
+    description=(
+        "no wall-clock/uuid/entropy calls outside allowlisted diagnostic sites"
+    ),
+    rationale=(
+        "chaos/resume recovery and cross-PR baselines compare bytes (PR 6); a "
+        "timestamp in any digested payload would make every gate flaky"
+    ),
+)

@@ -10,7 +10,6 @@ protocol inspects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.address import Endpoint, NodeAddress
@@ -27,6 +26,11 @@ class Message:
     encoding would occupy. The simulator never serialises messages — sizes are used
     purely for overhead accounting.
     """
+
+    # Messages are allocated per shuffle per round; the base class must not force
+    # a __dict__ on slotted subclasses. (Dataclass subclasses still carry their
+    # own __dict__ for their fields — only the cache below lives in a slot.)
+    __slots__ = ("_wire_size_cache",)
 
     def payload_size(self) -> int:
         """Size of the message payload in bytes (excluding IP/UDP headers)."""
@@ -51,9 +55,13 @@ class Message:
         return type(self).__name__
 
 
-@dataclass
 class Packet:
     """A datagram in flight (or delivered).
+
+    One packet is allocated per message per hop, which makes this the single
+    hottest allocation site of the simulator — hence ``__slots__`` (a plain class
+    rather than a dataclass: the project supports Python 3.9, which predates
+    ``@dataclass(slots=True)``).
 
     Attributes
     ----------
@@ -74,11 +82,21 @@ class Packet:
         Virtual time (ms) at which the packet entered the network.
     """
 
-    source: Endpoint
-    destination: Endpoint
-    message: Message
-    sender: Optional[NodeAddress] = None
-    sent_at: float = 0.0
+    __slots__ = ("source", "destination", "message", "sender", "sent_at")
+
+    def __init__(
+        self,
+        source: Endpoint,
+        destination: Endpoint,
+        message: Message,
+        sender: Optional[NodeAddress] = None,
+        sent_at: float = 0.0,
+    ) -> None:
+        self.source = source
+        self.destination = destination
+        self.message = message
+        self.sender = sender
+        self.sent_at = sent_at
 
     @property
     def wire_size(self) -> int:
