@@ -320,12 +320,13 @@ def main() -> int:
             )
         scenario["speedup_vs_seed"] = round(baseline["seconds"] / scenario["seconds"], 2)
         report["scenarios"] = {"croupier_1000x100": scenario}
-        # The columnar acceptance point: a 10^5-node Croupier population through
-        # the paper's 70 rounds, on the flat-array engine (plus a 10^4 quick
-        # point for cheap cross-run comparison).
+        # The columnar acceptance points: 10^5- and 10^6-node Croupier
+        # populations through the paper's 70 rounds, on the flat-array engine
+        # (plus a 10^4 quick point for cheap cross-run comparison).
         report["columnar_scale"] = {
             "croupier_10000x20": bench_columnar_scale(nodes=10_000, rounds=20),
             "croupier_100000x70": bench_columnar_scale(nodes=100_000, rounds=70),
+            "croupier_1000000x70": bench_columnar_scale(nodes=1_000_000, rounds=70),
         }
 
     args.output.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Documentation front-door checker, wired into CI before the columnar gates.
+
+Two classes of rot this catches:
+
+1. **Dead links** — every relative link (and ``#anchor`` fragment) in
+   ``README.md`` and ``docs/*.md`` must resolve: the target file exists inside
+   the repo, and the fragment matches a heading under GitHub's slugification
+   (lowercase, punctuation stripped, spaces to hyphens, ``-N`` suffixes for
+   duplicates). External ``http(s)://`` links are left alone — CI must not
+   depend on the network.
+
+2. **Phantom CLI flags** — any ``--flag`` appearing on a ``repro ...`` /
+   ``python -m repro ...`` invocation inside a fenced code block is checked
+   against the real argparse tree (``repro.cli.build_parser()``), per
+   subcommand. Documented flags that the parser does not accept fail the
+   build; the docs can never drift ahead of (or behind) the CLI again.
+
+Exit status: 0 clean, 1 findings (one ``path:line: message`` per finding).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import build_parser  # noqa: E402
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+FLAG_RE = re.compile(r"(--[a-z][a-z0-9-]*)")
+INVOCATION_RE = re.compile(r"(?:^|\s|\$ )(?:python -m )?repro\s+([a-z-]+)\b")
+
+
+def doc_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def github_slugs(lines: List[str]) -> Set[str]:
+    """Slugs GitHub generates for a file's headings (duplicate-suffix aware)."""
+    seen: Dict[str, int] = {}
+    slugs: Set[str] = set()
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        text = match.group(2)
+        # Strip inline markdown: links keep their text, code/emphasis markers drop.
+        text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+        text = re.sub(r"[`*_]", "", text)
+        slug = re.sub(r"[^\w\s-]", "", text.strip().lower(), flags=re.UNICODE)
+        slug = re.sub(r"\s", "-", slug)
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def check_links(path: Path, lines: List[str], slug_cache: Dict[Path, Set[str]],
+                problems: List[str]) -> None:
+    in_fence = False
+    for lineno, line in enumerate(lines, start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            raw_path, _, fragment = target.partition("#")
+            if raw_path:
+                resolved = (path.parent / raw_path).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(REPO_ROOT)}:{lineno}: dead link "
+                        f"target {target!r}"
+                    )
+                    continue
+                if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                    if fragment:
+                        problems.append(
+                            f"{path.relative_to(REPO_ROOT)}:{lineno}: anchor on "
+                            f"non-markdown target {target!r}"
+                        )
+                    continue
+            else:
+                resolved = path.resolve()
+            if fragment:
+                if resolved not in slug_cache:
+                    slug_cache[resolved] = github_slugs(
+                        resolved.read_text(encoding="utf-8").splitlines()
+                    )
+                if fragment.lower() not in slug_cache[resolved]:
+                    problems.append(
+                        f"{path.relative_to(REPO_ROOT)}:{lineno}: dead anchor "
+                        f"{target!r} (no matching heading)"
+                    )
+
+
+def cli_flag_map() -> Dict[str, Set[str]]:
+    """Subcommand -> set of accepted long flags, introspected from argparse."""
+    parser = build_parser()
+    flags: Dict[str, Set[str]] = {"": {
+        opt for action in parser._actions for opt in action.option_strings
+        if opt.startswith("--")
+    }}
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                flags[name] = {
+                    opt
+                    for sub_action in sub._actions
+                    for opt in sub_action.option_strings
+                    if opt.startswith("--")
+                }
+    return flags
+
+
+def check_cli_flags(path: Path, lines: List[str], flags: Dict[str, Set[str]],
+                    problems: List[str]) -> None:
+    in_fence = False
+    command = ""
+    for lineno, line in enumerate(lines, start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            command = ""
+            continue
+        if not in_fence:
+            continue
+        invocation = INVOCATION_RE.search(line)
+        if invocation:
+            command = invocation.group(1)
+        elif not line.rstrip().endswith("\\") and not line.startswith((" ", "\t")):
+            # A fresh non-continuation, non-indented line ends the invocation.
+            if not line.strip().startswith("--"):
+                command = ""
+        if not command or command not in flags:
+            continue
+        known = flags[command] | flags[""]
+        for flag in FLAG_RE.findall(line):
+            if flag not in known:
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}:{lineno}: flag {flag!r} is "
+                    f"not accepted by `repro {command}`".replace("repro ` ", "repro`")
+                )
+
+
+def main() -> int:
+    problems: List[str] = []
+    slug_cache: Dict[Path, Set[str]] = {}
+    flags = cli_flag_map()
+    files = doc_files()
+    for path in files:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        check_links(path, lines, slug_cache, problems)
+        check_cli_flags(path, lines, flags, problems)
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(f"check_docs: {len(problems)} problem(s) in {len(files)} file(s)")
+        return 1
+    print(f"check_docs: OK ({len(files)} markdown file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,6 +70,14 @@ echo "== tier-1 tests =="
 python -m pytest -x -q
 
 echo
+echo "== docs check (links, anchors, CLI flags) =="
+# README.md + docs/*.md: every relative link and #anchor must resolve, and
+# every --flag on a `repro ...` invocation in a fenced block must exist in the
+# argparse tree (scripts/check_docs.py). No network access — external links
+# are not fetched.
+python scripts/check_docs.py
+
+echo
 echo "== columnar tests on the pure-array fallback (REPRO_NO_NUMPY=1) =="
 # The full tier-1 suite above runs with whatever backend is installed; this
 # re-runs the columnar-facing tests with numpy vectorisation disabled, so both

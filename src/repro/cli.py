@@ -188,7 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=["object"],
         help="execution-backend axis: comma-separated engine names ('object' — "
         "per-node component simulation; 'columnar' — flat-array batched engine "
-        "for 1e5+ node cells, croupier/cyclon only)",
+        "for 1e5+ node cells, croupier/cyclon/gozar/nylon)",
     )
     matrix.add_argument(
         "--variants",

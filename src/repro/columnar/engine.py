@@ -26,10 +26,15 @@ Model (the documented deltas from the object backend, see docs/columnar_backend.
   local estimate plus its ``forward_estimates`` most recent cached entries
   (default 2), instead of a uniform sample of up to 10.
 
-Everything is deterministic: one injected ``random.Random`` consumed in a fixed
-order (ascending initiator rows), and every vectorized phase is elementwise-exact
-so the numpy and fallback paths produce bit-identical state (pinned by
-``tests/test_columnar.py``).
+Everything is deterministic, but the contract is *positional*, not sequential:
+the injected ``random.Random`` is consumed exactly once, at construction, to
+derive a 64-bit engine seed; every in-round random decision is then a
+counter-keyed draw — a pure function of ``(seed, round, phase, row-or-slot
+key)`` (see :mod:`repro.columnar.rng`). That makes the whole shuffle pass
+batchable (:mod:`repro.columnar.shuffle`): the numpy fast path and the
+pure-array fallback evaluate the same keyed draws and the same elementwise
+phases, so they produce bit-identical state (pinned by
+``tests/test_columnar.py``) regardless of evaluation order.
 """
 
 from __future__ import annotations
@@ -40,21 +45,33 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.columnar import backend
 from repro.columnar.backend import as_np, grow_column, new_column, seq_sum
+from repro.columnar.shuffle import (  # re-exported: the engine's wire model
+    CONTROL_BYTES,
+    DESCRIPTOR_BYTES,
+    DROP_REASONS,
+    ESTIMATE_BYTES,
+    HEADER_BYTES,
+    PARENT_ADDR_BYTES,
+    maintain_parents,
+    run_shuffle_round,
+    send_keepalives,
+)
 from repro.columnar.streaming import StreamingHistogram
 from repro.errors import ConfigurationError
+
+__all__ = [
+    "BORN_NONE", "COLUMNAR_PROTOCOLS", "ColumnarEngine",
+    "CONTROL_BYTES", "DESCRIPTOR_BYTES", "DROP_REASONS", "ESTIMATE_BYTES",
+    "HEADER_BYTES", "PARENT_ADDR_BYTES",
+]
 
 #: Sentinel born-round for an empty estimator-ring slot (always outside any window).
 BORN_NONE = -(2 ** 30)
 
-#: Wire-size accounting constants (bytes). Only relative magnitudes matter for the
-#: Figure 7(a)-style per-class load comparison; they approximate the object
-#: backend's descriptor (address + age) and estimate entry sizes.
-DESCRIPTOR_BYTES = 8
-ESTIMATE_BYTES = 5
-HEADER_BYTES = 12
-
-#: Protocols this engine can execute.
-COLUMNAR_PROTOCOLS = ("croupier", "cyclon")
+#: Protocols this engine can execute. All four paper protocols run columnar;
+#: croupier adds the dual-view estimator, gozar parent relaying, nylon
+#: learned-from hole punching.
+COLUMNAR_PROTOCOLS = ("croupier", "cyclon", "gozar", "nylon")
 
 
 class ColumnarEngine:
@@ -71,25 +88,36 @@ class ColumnarEngine:
         history_gamma: int = 50,
         cache_capacity: int = 32,
         forward_estimates: int = 2,
+        parent_count: int = 3,
+        parent_keepalive_every_rounds: int = 5,
+        keepalive_fanout: int = 20,
         bootstrap_seed_size: Optional[int] = None,
         use_numpy: Optional[bool] = None,
     ) -> None:
         if protocol not in COLUMNAR_PROTOCOLS:
             raise ConfigurationError(
-                f"columnar engine supports {COLUMNAR_PROTOCOLS}, got {protocol!r}"
+                f"engine='columnar' executes {', '.join(COLUMNAR_PROTOCOLS)}; "
+                f"{protocol!r} runs only on the object engine"
             )
         if view_size <= 0 or shuffle_size <= 0:
             raise ConfigurationError("view_size and shuffle_size must be positive")
         self.protocol = protocol
         self.estimating = protocol == "croupier"
+        self.nat_aware = protocol in ("gozar", "nylon")
         self.V = view_size
         self.K = min(shuffle_size, view_size)
         self.A = history_alpha
         self.G = history_gamma
         self.C = cache_capacity
         self.FWD = max(0, min(forward_estimates, cache_capacity))
+        self.P = max(1, parent_count)
+        self.parent_keepalive_every = max(1, parent_keepalive_every_rounds)
+        self.keepalive_fanout = max(0, keepalive_fanout)
         self.seed_size = bootstrap_seed_size or view_size
         self.rng = rng
+        #: The engine's positional-draw seed (repro.columnar.rng): consumed from
+        #: the injected RNG exactly once, here, preserving seed custody.
+        self.hash_seed = rng.getrandbits(64)
         self.use_numpy = backend.HAVE_NUMPY if use_numpy is None else bool(use_numpy)
         if self.use_numpy and not backend.HAVE_NUMPY:
             raise ConfigurationError("numpy requested but not available")
@@ -128,10 +156,18 @@ class ColumnarEngine:
             self.hist_pos = new_column("i", cap)
             self.est_val = new_column("d", cap * self.C)
             self.est_born = new_column("i", cap * self.C, fill=BORN_NONE)
+            self.est_origin = new_column("q", cap * self.C, fill=-1)
             self.est_pos = new_column("i", cap)
             self.loc_est = new_column("d", cap)  # -1.0 == no local estimate
             for row in range(cap):
                 self.loc_est[row] = -1.0
+        if protocol == "gozar":
+            # Relay parents of private nodes (public rows they registered with).
+            self.parent_id = new_column("q", cap * self.P, fill=-1)
+        if protocol == "nylon":
+            # Which row each view descriptor was learned from (-1: bootstrap
+            # seed) — the one-hop RVP chain used to reach private partners.
+            self.learned_from = new_column("q", cap * self.V, fill=-1)
         #: Live public rows (the bootstrap registry): list + position map for O(1)
         #: removal with deterministic (swap-pop) order.
         self._pub_live: List[int] = []
@@ -170,9 +206,14 @@ class ColumnarEngine:
             grow_column(self.hist_cv, extra * self.A)
             grow_column(self.est_val, extra * self.C)
             grow_column(self.est_born, extra * self.C, fill=BORN_NONE)
+            grow_column(self.est_origin, extra * self.C, fill=-1)
             grow_column(self.loc_est, extra)
             for row in range(self._cap, new_cap):
                 self.loc_est[row] = -1.0
+        if self.protocol == "gozar":
+            grow_column(self.parent_id, extra * self.P, fill=-1)
+        if self.protocol == "nylon":
+            grow_column(self.learned_from, extra * self.V, fill=-1)
         self._cap = new_cap
 
     # ------------------------------------------------------------------ membership
@@ -214,6 +255,13 @@ class ColumnarEngine:
                 self.priv_id[base + slot] = -1
                 self.priv_age[base + slot] = 0
             self.loc_est[row] = -1.0
+        if self.protocol == "gozar":
+            pbase = row * self.P
+            for slot in range(self.P):
+                self.parent_id[pbase + slot] = -1
+        if self.protocol == "nylon":
+            for slot in range(self.V):
+                self.learned_from[base + slot] = -1
         if self.is_public[row]:
             pos = self._pub_pos.pop(row)
             last = self._pub_live.pop()
@@ -281,7 +329,11 @@ class ColumnarEngine:
             self._advance_estimators()
         else:
             self._advance_rounds_only()
-        self._shuffle_all()
+        if self.protocol == "gozar":
+            maintain_parents(self)
+        elif self.protocol == "nylon":
+            send_keepalives(self)
+        run_shuffle_round(self)
 
     def _age_views(self) -> None:
         end = self._rows * self.V
@@ -369,205 +421,18 @@ class ColumnarEngine:
             else:
                 loc_est[row] = -1.0
 
-    # ------------------------------------------------------------------ the shuffle pass
-
-    def _shuffle_all(self) -> None:
-        """One batched pass over all initiators (ascending row order).
-
-        Request construction, delivery filtering, partner-side handling and the
-        response merge happen inline per initiator; state mutations interleave in
-        row order, which *is* the engine's determinism contract.
-        """
-        V, K = self.V, self.K
-        rng = self.rng
-        alive, is_public = self.alive, self.is_public
-        pub_id, pub_age = self.pub_id, self.pub_age
-        estimating = self.estimating
-        if estimating:
-            priv_id, priv_age = self.priv_id, self.priv_age
-            cur_cu, cur_cv = self.cur_cu, self.cur_cv
-        tx, rx = self.tx_bytes, self.rx_bytes
-        loss_pub, loss_priv = self.loss_public, self.loss_private
-        loss_active = loss_pub > 0.0 or loss_priv > 0.0
-        partition = self._partition_active
-        isolated = self.isolated
-        merge = self._merge
-        subset = self._subset
-        ties: List[int] = []
-
-        for i in range(1, self._rows):
-            if not alive[i]:
-                continue
-            # --- partner selection: oldest entry of the primary view, random tie-break
-            base = i * V
-            best_age = -1
-            del ties[:]
-            for slot in range(V):
-                nid = pub_id[base + slot]
-                if nid < 0:
-                    continue
-                age = pub_age[base + slot]
-                if age > best_age:
-                    best_age = age
-                    del ties[:]
-                    ties.append(slot)
-                elif age == best_age:
-                    ties.append(slot)
-            if not ties:
-                continue  # empty view: round skipped (bootstrap starvation/churn)
-            slot = ties[0] if len(ties) == 1 else ties[rng.randrange(len(ties))]
-            partner = pub_id[base + slot]
-            pub_id[base + slot] = -1
-            pub_age[base + slot] = 0
-
-            # --- request construction (own-class subset gets K-1 entries + self at age 0)
-            i_public = is_public[i] != 0
-            if estimating:
-                if i_public:
-                    req_pub = subset(pub_id, pub_age, base, K - 1, -1)
-                    req_pub.append((i, 0))
-                    req_priv = subset(priv_id, priv_age, base, K, -1)
-                else:
-                    req_pub = subset(pub_id, pub_age, base, K, -1)
-                    req_priv = subset(priv_id, priv_age, base, K - 1, -1)
-                    req_priv.append((i, 0))
-                n_desc = len(req_pub) + len(req_priv)
-            else:
-                req_pub = subset(pub_id, pub_age, base, K - 1, -1)
-                req_pub.append((i, 0))
-                req_priv = None
-                n_desc = len(req_pub)
-
-            # --- delivery filtering
-            bundle_i: Optional[List[Tuple[float, int]]] = None
-            if estimating:
-                bundle_i = self._estimate_bundle(i)
-                req_size = HEADER_BYTES + n_desc * DESCRIPTOR_BYTES + len(bundle_i) * ESTIMATE_BYTES
-            else:
-                req_size = HEADER_BYTES + n_desc * DESCRIPTOR_BYTES
-            self.packets_sent += 1
-            tx[i] += req_size
-            if loss_active and rng.random() < (loss_pub if i_public else loss_priv):
-                self._drop("lost_in_transit")
-                continue
-            if partition and isolated[i] != isolated[partner]:
-                self._drop("partitioned")
-                continue
-            if not alive[partner]:
-                self._drop("dead_partner")
-                continue
-            if not is_public[partner]:
-                # Unsolicited traffic into a NAT: filtered (and, for Croupier, the
-                # protocol only ever shuffles with croupiers anyway).
-                self._drop("nat_filtered")
-                continue
-            rx[partner] += req_size
-
-            # --- partner-side handling (partner is live and public)
-            p_base = partner * V
-            if estimating:
-                if i_public:
-                    cur_cu[partner] += 1
-                else:
-                    cur_cv[partner] += 1
-                reply_pub = subset(pub_id, pub_age, p_base, K, i)
-                reply_priv = subset(priv_id, priv_age, p_base, K, i)
-                merge(pub_id, pub_age, p_base, partner, req_pub, reply_pub)
-                merge(priv_id, priv_age, p_base, partner, req_priv, reply_priv)
-                self._ingest_estimates(partner, bundle_i)
-                bundle_p = self._estimate_bundle(partner)
-                resp_size = (
-                    HEADER_BYTES
-                    + (len(reply_pub) + len(reply_priv)) * DESCRIPTOR_BYTES
-                    + len(bundle_p) * ESTIMATE_BYTES
-                )
-            else:
-                reply_pub = subset(pub_id, pub_age, p_base, K, i)
-                reply_priv = None
-                merge(pub_id, pub_age, p_base, partner, req_pub, reply_pub)
-                bundle_p = None
-                resp_size = HEADER_BYTES + len(reply_pub) * DESCRIPTOR_BYTES
-
-            # --- response delivery (back through the initiator's NAT mapping)
-            self.packets_sent += 1
-            tx[partner] += resp_size
-            if loss_active and rng.random() < loss_pub:
-                self._drop("lost_in_transit")
-                continue
-            rx[i] += resp_size
-            merge(pub_id, pub_age, base, i, reply_pub, req_pub)
-            if estimating:
-                merge(priv_id, priv_age, base, i, reply_priv, req_priv)
-                self._ingest_estimates(i, bundle_p)
-
-    def _drop(self, reason: str) -> None:
-        self.drops[reason] = self.drops.get(reason, 0) + 1
-
-    def _subset(self, vid, vage, base: int, count: int, exclude: int) -> List[Tuple[int, int]]:
-        """Up to ``count`` random occupied entries of one row's view as (id, age)."""
-        occupied = []
-        for slot in range(self.V):
-            nid = vid[base + slot]
-            if nid >= 0 and nid != exclude:
-                occupied.append(slot)
-        if count <= 0:
-            return []
-        if len(occupied) > count:
-            occupied = self.rng.sample(occupied, count)
-        return [(vid[base + slot], vage[base + slot]) for slot in occupied]
-
-    def _merge(self, vid, vage, base: int, self_id: int, received, sent) -> None:
-        """The swapper ``updateView``: refresh-if-fresher, add-if-room, else evict a
-        descriptor that was just sent to the peer (in sent order); else drop."""
-        if not received:
-            return
-        V = self.V
-        sent_iter = 0
-        sent_len = len(sent) if sent else 0
-        for nid, nage in received:
-            if nid == self_id:
-                continue
-            empty = -1
-            found = False
-            for slot in range(V):
-                cur = vid[base + slot]
-                if cur == nid:
-                    if nage < vage[base + slot]:
-                        vage[base + slot] = nage
-                    found = True
-                    break
-                if cur < 0 and empty < 0:
-                    empty = slot
-            if found:
-                continue
-            if empty >= 0:
-                vid[base + empty] = nid
-                vage[base + empty] = nage
-                continue
-            while sent_iter < sent_len:
-                evict_id = sent[sent_iter][0]
-                sent_iter += 1
-                if evict_id == self_id:
-                    continue
-                for slot in range(V):
-                    if vid[base + slot] == evict_id:
-                        vid[base + slot] = nid
-                        vage[base + slot] = nage
-                        found = True
-                        break
-                if found:
-                    break
-            # No sent descriptor left in the view: the received one is dropped.
-
     # ------------------------------------------------------------------ estimates
 
-    def _estimate_bundle(self, row: int) -> List[Tuple[float, int]]:
-        """What ``row`` piggybacks on a shuffle: its own local estimate (born = this
-        round) plus its FWD most recently received, still-fresh cached entries."""
-        bundle: List[Tuple[float, int]] = []
+    def _estimate_bundle(self, row: int) -> List[Tuple[int, float, int]]:
+        """What ``row`` piggybacks on a shuffle: its own local estimate (origin =
+        itself, born = this round) plus its FWD most recently received,
+        still-fresh cached entries, each carrying its original origin and born
+        round (the wire equivalent of the paper's 5-byte id+counts+timestamp
+        encoding)."""
+        bundle: List[Tuple[int, float, int]] = []
         local = self.loc_est[row]
         if local >= 0.0:
-            bundle.append((local, self.round))
+            bundle.append((row, local, self.round))
         if self.FWD:
             C = self.C
             base = row * C
@@ -577,21 +442,35 @@ class ColumnarEngine:
                 slot = base + (pos - back) % C
                 born = self.est_born[slot]
                 if born >= born_min:
-                    bundle.append((self.est_val[slot], born))
+                    bundle.append((self.est_origin[slot], self.est_val[slot], born))
         return bundle
 
     def _ingest_estimates(self, row: int, bundle) -> None:
+        """Origin-keyed merge, mirroring the object estimator's neighbour cache:
+        at most one cached entry per origin, refreshed only by a strictly
+        fresher (larger born) copy; unseen origins take the ring cursor slot
+        (evicting whatever held it)."""
         if not bundle:
             return
         C = self.C
         base = row * C
-        pos = self.est_pos[row]
-        for value, born in bundle:
-            slot = base + pos
-            self.est_val[slot] = value
-            self.est_born[slot] = born
-            pos = (pos + 1) % C
-        self.est_pos[row] = pos
+        est_origin, est_val, est_born = self.est_origin, self.est_val, self.est_born
+        for origin, value, born in bundle:
+            slot = -1
+            for back in range(C):
+                if est_origin[base + back] == origin:
+                    slot = back
+                    break
+            if slot >= 0:
+                if born > est_born[base + slot]:
+                    est_val[base + slot] = value
+                    est_born[base + slot] = born
+            else:
+                pos = self.est_pos[row]
+                est_origin[base + pos] = origin
+                est_val[base + pos] = value
+                est_born[base + pos] = born
+                self.est_pos[row] = (pos + 1) % C
 
     def estimate_ratio(self, row: int) -> Optional[float]:
         """One node's current estimate: mean of fresh cached estimates plus (for
@@ -616,15 +495,10 @@ class ColumnarEngine:
             return None
         return total / count
 
-    def estimate_stats(
-        self, true_ratio: float, min_rounds: int = 2
-    ) -> Tuple[int, Optional[float], Optional[float], Optional[float]]:
-        """(nodes_measured, mean estimate, avg |error|, max |error|) over live nodes
-        with at least ``min_rounds`` executed rounds — without materialising
-        per-node service objects. Bit-identical between backends and with
-        per-node :meth:`estimate_ratio` calls."""
-        if not self.estimating:
-            return (0, None, None, None)
+    def _measured_estimates(self, min_rounds: int) -> List[float]:
+        """Per-node estimates of live, warmed-up nodes in ascending row order —
+        without materialising per-node service objects. Bit-identical between
+        backends and with per-node :meth:`estimate_ratio` calls."""
         n = self._rows
         born_min = self.round - self.G
         estimates: List[float] = []
@@ -657,12 +531,33 @@ class ColumnarEngine:
                     value = self.estimate_ratio(row)
                     if value is not None:
                         estimates.append(value)
+        return estimates
+
+    def estimate_stats(
+        self, true_ratio: float, min_rounds: int = 2
+    ) -> Tuple[int, Optional[float], Optional[float], Optional[float]]:
+        """(nodes_measured, mean estimate, avg |error|, max |error|) over live
+        nodes with at least ``min_rounds`` executed rounds."""
+        if not self.estimating:
+            return (0, None, None, None)
+        estimates = self._measured_estimates(min_rounds)
         if not estimates:
             return (0, None, None, None)
         k = len(estimates)
         mean_est = seq_sum(estimates) / k
         errors = [abs(value - true_ratio) for value in estimates]
         return (k, mean_est, seq_sum(errors) / k, max(errors))
+
+    def estimate_reservoir(self, reservoir, min_rounds: int = 2) -> int:
+        """Stream every measured per-node estimate (ascending row order) into a
+        :class:`~repro.columnar.streaming.ReservoirSample`; returns how many
+        values were offered. Powers the estimate-scatter figure at scales where
+        a per-node list must never be archived."""
+        if not self.estimating:
+            return 0
+        values = self._measured_estimates(min_rounds)
+        reservoir.extend(values)
+        return len(values)
 
     # ------------------------------------------------------------------ graph metrics
 
@@ -729,8 +624,12 @@ class ColumnarEngine:
             columns += [
                 self.priv_id, self.priv_age, self.cur_cu, self.cur_cv,
                 self.cu_sum, self.cv_sum, self.hist_pos, self.est_val,
-                self.est_born, self.est_pos, self.loc_est,
+                self.est_born, self.est_origin, self.est_pos, self.loc_est,
             ]
+        if self.protocol == "gozar":
+            columns.append(self.parent_id)
+        if self.protocol == "nylon":
+            columns.append(self.learned_from)
         for column in columns:
             view = memoryview(column)[: self._rows * (len(column) // self._cap)]
             digest.update(view.tobytes())

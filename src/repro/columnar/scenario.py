@@ -95,6 +95,20 @@ class ColumnarEstimatingService(ColumnarService, RatioEstimating, NatAware):
         return "croupier-indirection"
 
 
+#: How each NAT-aware single-view protocol reaches private partners.
+_NAT_STRATEGIES = {"gozar": "relay", "nylon": "hole-punching"}
+
+
+class ColumnarNatService(ColumnarService, NatAware):
+    """Gozar/Nylon view: NAT-aware (parent relaying / RVP hole punching), but
+    no ratio estimator."""
+
+    __slots__ = ()
+
+    def private_peer_strategy(self) -> str:
+        return _NAT_STRATEGIES[self._scenario.config.protocol]
+
+
 class ColumnarHandle:
     """Node-handle view matching the fields workload events and probes touch."""
 
@@ -288,8 +302,9 @@ class ColumnarScenario:
             )
         if config.protocol not in COLUMNAR_PROTOCOLS:
             raise ConfigurationError(
-                f"engine='columnar' supports protocols {COLUMNAR_PROTOCOLS}, "
-                f"got {config.protocol!r}"
+                f"engine='columnar' executes all paper protocols "
+                f"({', '.join(COLUMNAR_PROTOCOLS)}); {config.protocol!r} runs "
+                f"only on engine='object' (the default)"
             )
         if config.identify_nat_types:
             raise ConfigurationError(
@@ -314,6 +329,11 @@ class ColumnarScenario:
             rng=self.sim.derive_rng("columnar-engine"),
             history_alpha=getattr(self._pss_config, "local_history_alpha", 25),
             history_gamma=getattr(self._pss_config, "neighbour_history_gamma", 50),
+            parent_count=getattr(self._pss_config, "parent_count", 3),
+            parent_keepalive_every_rounds=getattr(
+                self._pss_config, "parent_keepalive_every_rounds", 5
+            ),
+            keepalive_fanout=getattr(self._pss_config, "keepalive_fanout", 20),
             bootstrap_seed_size=self.bootstrap_seed_size,
             use_numpy=use_numpy,
         )
@@ -427,6 +447,8 @@ class ColumnarScenario:
     def _service_for(self, row: int):
         if self.engine.estimating:
             return ColumnarEstimatingService(self, row)
+        if self.engine.nat_aware:
+            return ColumnarNatService(self, row)
         return ColumnarService(self, row)
 
     def live_handles(self) -> List[ColumnarHandle]:

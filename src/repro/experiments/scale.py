@@ -148,6 +148,34 @@ def measure_in_degree(scenario, payload: MetricPayload) -> None:
     payload.set_scalar("indeg_max", stats["max"])
 
 
+#: Reservoir capacity for the estimate-scatter figure: enough for stable
+#: percentile read-outs, bounded regardless of N.
+SCATTER_CAPACITY = 512
+
+
+def sample_estimate_scatter(scenario) -> List[float]:
+    """A uniform reservoir sample of per-node estimates (the scatter figure).
+
+    The paper's per-node estimate scatter needs representative *raw* values,
+    not just the mean/error aggregates — but keeping 10⁶ floats (or sorting
+    them) defeats the streamed-metrics design. A fixed-capacity reservoir
+    (:class:`~repro.columnar.streaming.ReservoirSample`) bounds that at
+    :data:`SCATTER_CAPACITY` values regardless of N. Deterministic: the
+    reservoir rng derives from the scenario's simulator seed. Returns ``[]``
+    on non-columnar (or non-estimating) scenarios.
+    """
+    engine = _columnar_engine(scenario)
+    if engine is None or not getattr(engine, "estimating", False):
+        return []
+    from repro.columnar.streaming import ReservoirSample
+
+    reservoir = ReservoirSample(
+        SCATTER_CAPACITY, rng=scenario.sim.derive_rng("estimate-scatter")
+    )
+    engine.estimate_reservoir(reservoir)
+    return reservoir.values
+
+
 def run_scale_cell(ctx: CellContext) -> MetricPayload:
     """Execute one horizon-scale matrix cell.
 
@@ -185,6 +213,11 @@ def run_scale_cell(ctx: CellContext) -> MetricPayload:
     if series.samples:
         payload.set_scalar(
             "est_nodes_measured", float(series.samples[-1].nodes_measured)
+        )
+    scatter = sample_estimate_scatter(scenario)
+    if scatter:
+        payload.set_series(
+            "est_scatter", [(float(index), value) for index, value in enumerate(scatter)]
         )
     return payload
 
@@ -225,6 +258,9 @@ class ScaleVariantResult:
     wall_seconds: float
     node_rounds_per_sec: float
     peak_rss_mb: float
+    #: Reservoir-sampled per-node estimates (the scatter figure; empty on the
+    #: object engine).
+    est_scatter: List[float] = field(default_factory=list)
 
 
 @dataclass
@@ -281,10 +317,23 @@ class ScaleRunResult:
                 f"rounds={self.rounds}, seed={self.seed})"
             ),
         )
+        scatter_lines = []
+        for v in self.variants:
+            if not v.est_scatter:
+                continue
+            from repro.metrics.collector import percentile
+
+            quantiles = "  ".join(
+                f"p{q}={percentile(v.est_scatter, q):.4f}"
+                for q in (5, 25, 50, 75, 95)
+            )
+            scatter_lines.append(
+                f"{v.label} estimate scatter ({len(v.est_scatter)} sampled): {quantiles}"
+            )
         return table + (
             "\nStatic ratio and Figure 5 churn at horizon scale; error metrics are"
             "\nbit-identical to the per-node facade collection at equal N."
-        )
+        ) + ("\n" + "\n".join(scatter_lines) if scatter_lines else "")
 
 
 def _peak_rss_mb() -> float:
@@ -373,6 +422,7 @@ def run_scale_experiment(
                 wall_seconds=wall,
                 node_rounds_per_sec=(nodes * rounds) / wall if wall > 0 else 0.0,
                 peak_rss_mb=_peak_rss_mb(),
+                est_scatter=sample_estimate_scatter(scenario),
             )
         )
     return result

@@ -19,7 +19,7 @@ import pytest
 from repro.columnar import COLUMNAR_PROTOCOLS, ColumnarEngine, ColumnarScenario
 from repro.columnar.backend import HAVE_NUMPY
 from repro.errors import ConfigurationError, ExperimentError
-from repro.membership.capabilities import OverlaySampling, RatioEstimating
+from repro.membership.capabilities import NatAware, OverlaySampling, RatioEstimating
 from repro.metrics.probes import collect_ratio_estimates
 from repro.workload.scenario import (
     ENGINES,
@@ -222,7 +222,7 @@ class TestColumnarScenario:
 class TestEngineAxis:
     def test_engines_vocabulary(self):
         assert ENGINES == ("object", "columnar")
-        assert set(COLUMNAR_PROTOCOLS) == {"croupier", "cyclon"}
+        assert set(COLUMNAR_PROTOCOLS) == {"croupier", "cyclon", "gozar", "nylon"}
 
     def test_create_scenario_dispatch(self):
         assert isinstance(
@@ -338,8 +338,134 @@ class TestScaleKind:
             assert variant.final_avg_error is not None
             assert variant.node_rounds_per_sec > 0
             assert variant.peak_rss_mb > 0
+            assert variant.est_scatter
+            assert all(0.0 <= value <= 1.0 for value in variant.est_scatter)
         text = result.to_text()
         assert "static" in text and "churn" in text
+        assert "estimate scatter" in text
+
+    def test_scale_cell_records_estimate_scatter(self):
+        from repro.experiments.matrix import MatrixSpec
+        from repro.experiments.runner import run_matrix
+        from repro.experiments.scale import SCATTER_CAPACITY
+
+        spec = MatrixSpec(scenarios=("scale",), protocols=("croupier",),
+                          sizes=(50,), seeds=1, rounds=12, latency="constant",
+                          engines=("object", "columnar"))
+        result = run_matrix(spec, workers=1)
+        assert not result.failed
+        by_engine = {
+            ("columnar" if "engine=columnar" in r.cell.key else "object"): r.payload
+            for r in result.results
+        }
+        scatter = by_engine["columnar"].series["est_scatter"]
+        assert 0 < len(scatter) <= SCATTER_CAPACITY
+        assert all(0.0 <= value <= 1.0 for _idx, value in scatter)
+        # Object cells keep the facade path and record no scatter series.
+        assert "est_scatter" not in by_engine["object"].series
+
+    def test_scatter_is_deterministic(self):
+        from repro.experiments.scale import sample_estimate_scatter
+
+        samples = []
+        for _ in range(2):
+            scenario = make_scenario(seed=31, n_public=40, n_private=160)
+            scenario.run_rounds(12)
+            samples.append(sample_estimate_scatter(scenario))
+        assert samples[0] == samples[1]
+        assert samples[0]
+
+
+# ------------------------------------------------------- NAT protocol ports
+
+
+NAT_PROTOCOLS = ("gozar", "nylon")
+
+
+class TestNatProtocolPorts:
+    """Gozar and Nylon on the columnar engine: parity, capabilities, cell keys."""
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy for the comparison")
+    @pytest.mark.parametrize("protocol", NAT_PROTOCOLS)
+    def test_backends_bit_identical(self, protocol):
+        import random
+
+        fingerprints = []
+        for use_numpy in (False, True):
+            engine = ColumnarEngine(
+                protocol, view_size=10, shuffle_size=5,
+                rng=random.Random(23), use_numpy=use_numpy,
+            )
+            for index in range(60):
+                engine.add_node(public=index % 5 == 0)
+            for round_index in range(25):
+                if round_index == 12:
+                    engine.kill(5)
+                    engine.add_node(public=False)
+                engine.run_round()
+            fingerprints.append(engine.fingerprint())
+        assert fingerprints[0] == fingerprints[1]
+
+    @pytest.mark.parametrize("protocol", NAT_PROTOCOLS)
+    def test_capability_dispatch(self, protocol):
+        scenario = make_scenario(protocol=protocol)
+        assert scenario.supports(OverlaySampling)
+        assert scenario.supports(NatAware)
+        assert not scenario.supports(RatioEstimating)
+        service = next(iter(scenario.services_with(NatAware)))
+        expected = "relay" if protocol == "gozar" else "hole-punching"
+        assert service.private_peer_strategy() == expected
+
+    def test_croupier_strategy_unchanged(self):
+        scenario = make_scenario()
+        service = next(iter(scenario.services_with(NatAware)))
+        assert service.private_peer_strategy() == "croupier-indirection"
+
+    @pytest.mark.parametrize("protocol", NAT_PROTOCOLS)
+    def test_in_degree_histogram_matches_graph(self, protocol):
+        """Engine-native streamed stats equal the per-node facade collection."""
+        scenario = make_scenario(protocol=protocol, seed=24, n_public=10,
+                                 n_private=30)
+        scenario.run_rounds(12)
+        histogram = scenario.engine.in_degree_histogram().to_histogram()
+        assert sum(histogram.values()) == scenario.live_count()
+        total_edges = sum(bin_ * count for bin_, count in histogram.items())
+        graph = scenario.overlay_graph()
+        assert total_edges == sum(len(view) for view in graph.values())
+
+    @pytest.mark.parametrize("protocol", NAT_PROTOCOLS)
+    def test_views_fill_and_private_nodes_reached(self, protocol):
+        scenario = make_scenario(protocol=protocol, seed=25)
+        scenario.run_rounds(20)
+        graph = scenario.overlay_graph()
+        assert sum(len(view) for view in graph.values()) > 0
+        # NAT traversal working: some private node appears in somebody's view.
+        private = set(scenario.live_private_ids())
+        reached = {peer for view in graph.values() for peer in view}
+        assert reached & private
+
+    @pytest.mark.parametrize("protocol", NAT_PROTOCOLS)
+    def test_legacy_cell_keys_unchanged(self, protocol):
+        from repro.experiments.matrix import CellSpec
+
+        base = dict(scenario="static", protocol=protocol, size=60,
+                    seed_index=0, rounds=10)
+        legacy = CellSpec(**base)
+        assert "engine" not in legacy.key
+        columnar = CellSpec(engine="columnar", **base)
+        assert columnar.key.replace(";engine=columnar", "") == legacy.key
+
+    def test_matrix_validates_all_paper_protocols_on_columnar(self):
+        from repro.experiments.matrix import MatrixSpec
+
+        spec = MatrixSpec(scenarios=("static",), protocols=COLUMNAR_PROTOCOLS,
+                          sizes=(20,), seeds=1, rounds=5, latency="constant",
+                          engines=("columnar",))
+        spec.validate()
+
+    def test_unsupported_protocol_error_names_object_engine(self):
+        with pytest.raises(ConfigurationError, match="engine='object'"):
+            ColumnarScenario(columnar_config(protocol="arrg"))
 
 
 # ----------------------------------------------------------- cross-engine checks
