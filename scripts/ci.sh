@@ -58,12 +58,23 @@ echo "== compileall =="
 python -m compileall -q src
 
 echo
-echo "== determinism lint (strict) =="
+echo "== determinism lint (strict, cached, 30s budget) =="
 # AST-based determinism & invariant gate (docs/determinism_lint.md). Runs in
 # seconds and before tier-1 so a seeding/ordering violation fails fast with a
 # file:line finding instead of a byte-diff three stages later. Strict mode also
-# fails on stale suppressions and allowlist entries.
-python -m repro lint src --strict
+# fails on stale suppressions, stale allowlist entries and non-canonical
+# allowlist paths. The incremental cache (.repro-lint-cache.json, git-ignored)
+# makes repeat runs near-instant; the budget below is a hard wall-clock gate on
+# the FULL-repo strict run even from a cold cache — busting it means the lint
+# pass itself regressed, which would erode its run-before-everything value.
+LINT_START=$(date +%s)
+python -m repro lint src --strict --cache
+LINT_ELAPSED=$(( $(date +%s) - LINT_START ))
+echo "lint wall clock: ${LINT_ELAPSED}s (budget 30s)"
+if [ "$LINT_ELAPSED" -gt 30 ]; then
+    echo "ERROR: strict lint exceeded its 30s full-repo budget" >&2
+    exit 1
+fi
 
 echo
 echo "== tier-1 tests =="

@@ -308,9 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="finding output format (json follows the repro-lint-v1 schema)",
+        help="finding output format (json follows the repro-lint-v1 schema; "
+        "sarif emits a SARIF 2.1.0 document for code-scanning upload)",
     )
     lint.add_argument(
         "--rules",
@@ -336,6 +337,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="allowlist file (default: .repro-lint-allow discovered upward from "
         "the first lint path)",
+    )
+    lint.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse per-file rule output for content-unchanged files (keyed by "
+        "file sha256 + ruleset fingerprint; suppressions and the allowlist are "
+        "replayed live, so escape-hatch edits are never stale)",
+    )
+    lint.add_argument(
+        "--cache-path",
+        type=Path,
+        default=Path(".repro-lint-cache.json"),
+        help="where --cache persists between runs (default: "
+        ".repro-lint-cache.json in the current directory)",
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="list registered rules and exit"
@@ -641,7 +656,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import Allowlist, all_rules, changed_files, run_lint
+    from repro.lint import (
+        Allowlist,
+        LintCache,
+        all_rules,
+        changed_files,
+        rule_ids,
+        ruleset_fingerprint,
+        run_lint,
+        to_sarif_json,
+    )
 
     if args.list_rules:
         print("registered lint rules:")
@@ -675,11 +699,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     allowlist = (
         Allowlist.load(args.allowlist) if args.allowlist is not None else None
     )
+    cache = None
+    if args.cache:
+        fingerprint = ruleset_fingerprint(
+            args.rules if args.rules else rule_ids()
+        )
+        cache = LintCache.load(args.cache_path, fingerprint)
     report = run_lint(
-        paths, rules=args.rules, strict=args.strict, allowlist=allowlist
+        paths,
+        rules=args.rules,
+        strict=args.strict,
+        allowlist=allowlist,
+        cache=cache,
     )
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "sarif":
+        print(to_sarif_json(report))
     else:
         print(report.to_text())
     return report.exit_code

@@ -158,9 +158,7 @@ class ColumnarEngine:
             self.est_born = new_column("i", cap * self.C, fill=BORN_NONE)
             self.est_origin = new_column("q", cap * self.C, fill=-1)
             self.est_pos = new_column("i", cap)
-            self.loc_est = new_column("d", cap)  # -1.0 == no local estimate
-            for row in range(cap):
-                self.loc_est[row] = -1.0
+            self.loc_est = new_column("d", cap, fill=-1.0)  # -1.0 == no local estimate
         if protocol == "gozar":
             # Relay parents of private nodes (public rows they registered with).
             self.parent_id = new_column("q", cap * self.P, fill=-1)
@@ -207,9 +205,7 @@ class ColumnarEngine:
             grow_column(self.est_val, extra * self.C)
             grow_column(self.est_born, extra * self.C, fill=BORN_NONE)
             grow_column(self.est_origin, extra * self.C, fill=-1)
-            grow_column(self.loc_est, extra)
-            for row in range(self._cap, new_cap):
-                self.loc_est[row] = -1.0
+            grow_column(self.loc_est, extra, fill=-1.0)
         if self.protocol == "gozar":
             grow_column(self.parent_id, extra * self.P, fill=-1)
         if self.protocol == "nylon":
@@ -271,8 +267,13 @@ class ColumnarEngine:
         return True
 
     def live_rows(self) -> List[int]:
+        """Live rows in ascending (creation) order."""
+        n = self._rows
+        if self.use_numpy:
+            alive = as_np(self.alive)[:n]
+            return backend.np.nonzero(alive)[0].tolist()  # row 0 is never alive
         alive = self.alive
-        return [row for row in range(1, self._rows) if alive[row]]
+        return [row for row in range(1, n) if alive[row]]
 
     def live_count(self) -> int:
         if self.use_numpy:
@@ -312,10 +313,14 @@ class ColumnarEngine:
 
     def set_partition(self, isolated_rows) -> None:
         """Install (or, with an empty set, heal) a two-sided partition by rows."""
-        for row in range(self._rows):
-            self.isolated[row] = 0
+        n = self._rows
+        if self.use_numpy:
+            as_np(self.isolated)[:n] = 0
+        else:
+            for row in range(n):
+                self.isolated[row] = 0
         for row in isolated_rows:
-            if 0 < row < self._rows:
+            if 0 < row < n:
                 self.isolated[row] = 1
         self._partition_active = bool(isolated_rows)
 

@@ -762,9 +762,10 @@ def _shuffle_numpy(eng) -> None:
         rows = P_[sel_w]
         iw = I_[sel_w]
         wkeys = iw[:, None].astype(np.uint64) * np.uint64(V) + slot_arange
-        wantK = np.full(rows.size, K, dtype=np.int64)
+        # Scalar K broadcasts inside _subsets_np (np.minimum); materialising a
+        # per-wave rows.size vector here was pure allocator traffic.
         s_, id_, a_, c_ = _subsets_np(
-            np, ids2d[rows], ages2d[rows], wkeys, base_rep_pub, wantK, iw,
+            np, ids2d[rows], ages2d[rows], wkeys, base_rep_pub, K, iw,
             None, None, K,
         )
         ep_slots[sel_w] = s_
@@ -773,7 +774,7 @@ def _shuffle_numpy(eng) -> None:
         ep_cnt[sel_w] = c_
         if estimating:
             qs_, qid_, qa_, qc_ = _subsets_np(
-                np, pids2d[rows], pages2d[rows], wkeys, base_rep_priv, wantK, iw,
+                np, pids2d[rows], pages2d[rows], wkeys, base_rep_priv, K, iw,
                 None, None, K,
             )
             eq_slots[sel_w] = qs_

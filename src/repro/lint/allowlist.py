@@ -6,12 +6,16 @@ an inline suppression per call would drown those files in comments. The allowlis
 (``.repro-lint-allow`` at the repo root) records them centrally, one entry per
 line::
 
-    # rule          path-suffix                          scope
-    wall-clock      src/repro/experiments/runner.py      *
+    # rule          path-suffix                      scope
+    wall-clock      repro/experiments/runner.py      *
 
 * ``rule`` is a registered rule id.
-* ``path-suffix`` matches the end of a finding's posix path, so entries survive
-  checkout relocation.
+* ``path-suffix`` matches the end of a finding's posix path (through
+  :func:`repro.lint.policy.path_matches_suffix`, the same matcher the policy
+  tiers use), so entries survive checkout relocation. The canonical spelling is
+  package-relative (``repro/...``); a ``src/``-prefixed form still matches but
+  ``--strict`` rejects it, so the allowlist and the policy tiers cannot drift
+  into mixed conventions.
 * ``scope`` (optional, default ``*``) is the qualified name of the enclosing
   function/class (as printed by ``--format json``) or ``*`` for the whole file.
 
@@ -26,6 +30,7 @@ from typing import List, Optional
 
 from repro.lint.context import LintError
 from repro.lint.findings import Finding
+from repro.lint.policy import normalize_path_suffix, path_matches_suffix
 
 #: Default allowlist filename, looked up at the repo root.
 ALLOWLIST_FILENAME = ".repro-lint-allow"
@@ -46,9 +51,13 @@ class AllowlistEntry:
     def matches(self, finding: Finding) -> bool:
         if finding.rule != self.rule:
             return False
-        if not finding.path.endswith(self.path_suffix):
+        if not path_matches_suffix(finding.path, self.path_suffix):
             return False
         return self.scope == "*" or finding.scope == self.scope
+
+    def is_canonical_form(self) -> bool:
+        """Is the entry's path suffix in the canonical ``repro/...`` spelling?"""
+        return self.path_suffix == normalize_path_suffix(self.path_suffix)
 
     def describe(self) -> str:
         return f"{self.rule} {self.path_suffix} {self.scope}"

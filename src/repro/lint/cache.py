@@ -1,0 +1,209 @@
+"""Incremental lint cache: skip re-analysis of files that cannot have changed.
+
+The full strict run re-parses and re-analyzes every file on every invocation,
+which is wasteful in the common case — a local edit touches one or two files.
+The cache (``.repro-lint-cache.json``, git-ignored) stores, per file, the
+**raw** rule output: the findings every selected rule produced *before* inline
+suppressions and the allowlist were applied, plus the file's parsed suppression
+table. On a later run with an unchanged file, the engine replays suppression
+and allowlist filtering over the cached raw findings instead of re-running the
+rules — so editing ``.repro-lint-allow`` or adding a suppression elsewhere
+never serves a stale verdict, and the strict escape-hatch audit (which needs
+per-suppression usage and scopes) still sees every file.
+
+Keying is deliberately conservative:
+
+* per entry — the SHA-256 of the file's bytes (content, not mtime: a ``touch``
+  is a hit, a one-byte edit is a miss);
+* per cache — a *ruleset fingerprint* over the sorted selected rule ids **and**
+  the bytes of every source file in ``repro/lint`` itself. Any change to a
+  rule, the dataflow layer, the policy tiers or this module invalidates the
+  whole cache, so a heuristic fix can never be masked by yesterday's verdicts.
+
+One staleness channel is out of key-range by design: the dataflow rules consult
+*other* modules (cross-module return summaries), so editing module B can in
+principle change module A's findings while A's digest is unchanged. The lint
+package fingerprint does not see that. CI therefore keeps one cold-cache job as
+a backstop (`.github/workflows/ci.yml`), and the cache is an opt-in flag
+(``repro lint --cache``), never default-on for correctness gates without it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+#: Schema tag of the on-disk cache document; bump on layout changes.
+CACHE_SCHEMA = "repro-lint-cache-v1"
+
+#: Default cache filename, resolved against the invocation cwd by the CLI.
+CACHE_FILENAME = ".repro-lint-cache.json"
+
+
+def file_digest(data: bytes) -> str:
+    """Content key of one linted file (SHA-256 hex of its bytes)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def ruleset_fingerprint(rule_ids: Iterable[str]) -> str:
+    """Cache-wide validity key: the selected rules plus the linter's own code.
+
+    Hashes the sorted rule ids and every ``.py`` file under ``repro/lint``
+    (paths and bytes), so editing a rule, a policy tier or the dataflow layer
+    discards every cached verdict at once.
+    """
+    digest = hashlib.sha256()
+    for rule_id in sorted(rule_ids):
+        digest.update(rule_id.encode())
+        digest.update(b"\x00")
+    package = Path(__file__).resolve().parent
+    for source in sorted(package.rglob("*.py")):
+        if "__pycache__" in source.parts:
+            continue
+        digest.update(source.relative_to(package).as_posix().encode())
+        digest.update(b"\x00")
+        try:
+            digest.update(source.read_bytes())
+        except OSError:
+            digest.update(b"<unreadable>")
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class CachedSuppression:
+    """A replayed ``repro-lint: allow[...]`` comment from a cache hit.
+
+    Duck-types :class:`repro.lint.context.Suppression` (plus the scope the
+    strict audit would otherwise recompute from the AST).
+    """
+
+    __slots__ = ("line", "target_line", "rules", "scope", "used")
+
+    def __init__(self, line: int, target_line: int, rules, scope: str) -> None:
+        self.line = line
+        self.target_line = target_line
+        self.rules = tuple(rules)
+        self.scope = scope
+        self.used = False
+
+
+class CachedContext:
+    """Stand-in for :class:`~repro.lint.context.FileContext` on a cache hit.
+
+    Provides exactly the surface the post-rule pipeline touches: the display
+    path, the suppression table (for filtering and the strict audit) and
+    ``scope_at``/``is_suppressed`` with the same semantics.
+    """
+
+    __slots__ = ("display_path", "suppressions")
+
+    def __init__(self, display_path: str, suppressions: List[CachedSuppression]):
+        self.display_path = display_path
+        self.suppressions = suppressions
+
+    def scope_at(self, line: int) -> str:
+        for suppression in self.suppressions:
+            if suppression.line == line:
+                return suppression.scope
+        return "<module>"
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        hit = False
+        for suppression in self.suppressions:
+            if suppression.target_line == line and rule in suppression.rules:
+                suppression.used = True
+                hit = True
+        return hit
+
+
+class LintCache:
+    """The per-run cache handle: load, look up, record, save atomically."""
+
+    __slots__ = ("path", "fingerprint", "entries", "hits", "misses", "_dirty")
+
+    def __init__(self, path: Path, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        #: display_path -> {"digest", "parse_error", "findings", "suppressions"}
+        self.entries: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    @classmethod
+    def load(cls, path: Path, fingerprint: str) -> "LintCache":
+        """Read the cache at ``path``; any mismatch or damage yields an empty
+        cache (a cache failure must only ever cost time, never correctness)."""
+        cache = cls(path, fingerprint)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != CACHE_SCHEMA
+            or document.get("fingerprint") != fingerprint
+        ):
+            return cache
+        entries = document.get("entries")
+        if isinstance(entries, dict):
+            cache.entries = {
+                str(key): value
+                for key, value in entries.items()
+                if isinstance(value, dict) and "digest" in value
+            }
+        return cache
+
+    def lookup(self, display_path: str, digest: str) -> Optional[Dict[str, object]]:
+        """The cached entry for ``display_path`` iff its content key matches."""
+        entry = self.entries.get(display_path)
+        if entry is not None and entry.get("digest") == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(
+        self,
+        display_path: str,
+        digest: str,
+        raw_findings: List[Dict[str, object]],
+        suppressions: List[Dict[str, object]],
+        parse_error: bool = False,
+    ) -> None:
+        self.entries[display_path] = {
+            "digest": digest,
+            "parse_error": parse_error,
+            "findings": raw_findings,
+            "suppressions": suppressions,
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Write the cache atomically (tmp file + rename) if anything changed."""
+        if not self._dirty:
+            return
+        document = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "entries": self.entries,
+        }
+        payload = json.dumps(document, sort_keys=True, indent=1)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                stream.write(payload)
+            os.replace(tmp_name, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+        self._dirty = False

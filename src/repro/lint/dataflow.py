@@ -1,0 +1,430 @@
+"""Interprocedural RNG-custody dataflow: who holds a stream, and where it flows.
+
+PR 8's rules are *syntactic* — they match call names. The two failure modes that
+actually bit PR 9 are *dataflow* properties: a seeded stream drawn inside
+hash-ordered iteration (order-dependent consumption), and an RNG leaking across
+a process boundary. This module is the shared analysis those rules run on: a
+per-module def-use/taint pass over the :class:`~repro.lint.context.FileContext`
+AST, with cross-module propagation through the import-alias table.
+
+Taint kinds
+-----------
+
+``RNG``
+    A stateful stream — ``random.Random(seed)``, anything returned by a
+    ``derive_rng`` method, a parameter or attribute named ``rng``, or a call to
+    a function another ``repro.*`` module defines that returns one (resolved by
+    :class:`DataflowResolver`). Draw order matters for these, so they are what
+    the custody rules track.
+``STREAM``
+    A positional counter-stream key from :func:`repro.columnar.rng.stream` —
+    order-*independent* by construction (PR 9), tracked so rules can tell the
+    two apart instead of flagging the safe kind.
+``SEED``
+    A ``derive_seed(...)`` value: an integer, safe to ship anywhere; tracked so
+    custody rules can suggest "send the seed, re-derive on the far side".
+``SET``
+    A hash-ordered container (set/frozenset literal, constructor or set
+    algebra). Iterating one while drawing from an ``RNG`` stream is the
+    evaluation-order hazard ``draw-in-unordered-loop`` exists for.
+
+The pass is a *may*-analysis: per function it unions every binding to a fixpoint
+(``a = rng; b = a`` taints both), which over-approximates — the right polarity
+for a linter that asks "could this value be a live stream?". Module-level
+bindings form an outer environment that function bodies fall back to.
+
+Cross-module resolution is summary-based and deliberately one level deep: a
+:class:`DataflowResolver` parses the target module, computes which of its
+functions return ``RNG``, and caches the summary. Summaries are computed without
+further cross-module recursion, so import cycles terminate by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.context import FileContext
+
+#: Methods of ``random.Random`` that consume stream state. Drawing any of these
+#: inside hash-ordered iteration couples results to iteration order.
+DRAW_METHODS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+    }
+)
+
+#: Taint kinds (see module docstring).
+KIND_RNG = "RNG"
+KIND_STREAM = "STREAM"
+KIND_SEED = "SEED"
+KIND_SET = "SET"
+
+#: Set-algebra methods whose result is again hash-ordered.
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Parameter/attribute names conventionally holding an injected stream. The
+#: repo's injection idiom (``def __init__(self, rng): self.rng = rng``) has no
+#: constructor call to trace, so the name is the contract.
+_RNG_NAMES = frozenset({"rng"})
+
+_MAX_PASSES = 10  # fixpoint bound; taint chains in practice are 2-3 hops
+
+
+def _last_attr(node: ast.AST) -> Optional[str]:
+    """Final attribute/name component of an expression, if it has one."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class ModuleSummary:
+    """What one module exports, dataflow-wise: functions that return ``RNG``."""
+
+    __slots__ = ("returns_rng",)
+
+    def __init__(self, returns_rng: Set[str]) -> None:
+        #: Bare names of module-level functions whose return value is RNG-tainted.
+        self.returns_rng = returns_rng
+
+
+class DataflowResolver:
+    """Cross-module RNG-return summaries for ``repro.*`` modules.
+
+    Shares :class:`~repro.lint.context.ModuleResolver`'s location strategy
+    (``package_root`` is the directory containing ``repro/__init__.py``) but
+    answers a different question: *does function F of module M return a stream?*
+    Summaries are cached per module and computed summary-free (no recursive
+    cross-module lookups), so cycles cannot recurse.
+    """
+
+    def __init__(self, package_root: Optional[Path] = None) -> None:
+        self.package_root = package_root
+        self._cache: Dict[str, Optional[ModuleSummary]] = {}
+
+    @staticmethod
+    def for_file(path: Path) -> "DataflowResolver":
+        for parent in path.resolve().parents:
+            if (parent / "repro" / "__init__.py").exists():
+                return DataflowResolver(parent)
+        try:
+            import repro
+
+            return DataflowResolver(Path(repro.__file__).resolve().parents[1])
+        except Exception:
+            return DataflowResolver(None)
+
+    def summary(self, module: str) -> Optional[ModuleSummary]:
+        """Summary for dotted ``module``, or None if it cannot be located."""
+        if module in self._cache:
+            return self._cache[module]
+        result: Optional[ModuleSummary] = None
+        if self.package_root is not None and module.split(".")[0] == "repro":
+            candidate = self.package_root.joinpath(*module.split("."))
+            for path in (candidate.with_suffix(".py"), candidate / "__init__.py"):
+                if path.exists():
+                    try:
+                        source = path.read_text()
+                        context = FileContext(path, path.as_posix(), source)
+                    except (OSError, SyntaxError):
+                        break
+                    analysis = TaintAnalysis(context, resolver=None)
+                    result = ModuleSummary(analysis.returns_rng)
+                    break
+        self._cache[module] = result
+        return result
+
+    def call_returns_rng(self, dotted: str) -> bool:
+        """Does a call resolved to ``dotted`` (module path + function) return RNG?"""
+        module, _, func = dotted.rpartition(".")
+        if not module or not func:
+            return False
+        summary = self.summary(module)
+        return summary is not None and func in summary.returns_rng
+
+
+class TaintAnalysis:
+    """The per-module def-use/taint pass (see module docstring).
+
+    Construction runs the whole analysis; rules then query:
+
+    * :attr:`module_env` / :meth:`scope_env` — name → kind environments;
+    * :attr:`returns_rng` — this module's own RNG-returning functions
+      (also what :class:`DataflowResolver` exports to other modules);
+    * :meth:`expr_kind` — the taint kind of an arbitrary expression;
+    * :meth:`iter_scopes` — (function node, chained environment) pairs.
+    """
+
+    def __init__(
+        self, context: FileContext, resolver: Optional[DataflowResolver] = None
+    ) -> None:
+        self.context = context
+        self.resolver = resolver
+        #: ``self.<attr>`` names that hold a stream anywhere in this module.
+        self.rng_attrs: Set[str] = set(_RNG_NAMES)
+        #: Module-scope bindings (the outer environment for every function).
+        self.module_env: Dict[str, str] = {}
+        #: Bare names of functions/methods in this module returning RNG.
+        self.returns_rng: Set[str] = set()
+        self._scope_envs: Dict[int, Dict[str, str]] = {}
+        self._functions: List[ast.AST] = [
+            node
+            for node in ast.walk(context.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        self._analyze()
+
+    # ------------------------------------------------------------------ queries
+
+    def scope_env(self, func: ast.AST) -> Dict[str, str]:
+        """name → kind for one function body (falls back to :attr:`module_env`)."""
+        env = dict(self.module_env)
+        env.update(self._scope_envs.get(id(func), {}))
+        return env
+
+    def iter_scopes(self) -> Iterator[Tuple[Optional[ast.AST], Dict[str, str]]]:
+        """Every analysis scope: ``(None, module_env)`` then each function."""
+        yield None, dict(self.module_env)
+        for func in self._functions:
+            yield func, self.scope_env(func)
+
+    def expr_kind(self, node: ast.AST, env: Dict[str, str]) -> Optional[str]:
+        """Taint kind of an expression under ``env``, or None."""
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            if node.id in _RNG_NAMES:
+                return KIND_RNG
+            return None
+        if isinstance(node, ast.Attribute):
+            if node.attr in self.rng_attrs:
+                return KIND_RNG
+            return None
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return KIND_SET
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+        ):
+            left = self.expr_kind(node.left, env)
+            right = self.expr_kind(node.right, env)
+            if KIND_SET in (left, right):
+                return KIND_SET
+            return None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:  # ``rng or random.Random(0)``
+                kind = self.expr_kind(value, env)
+                if kind is not None:
+                    return kind
+            return None
+        if isinstance(node, ast.IfExp):
+            return self.expr_kind(node.body, env) or self.expr_kind(
+                node.orelse, env
+            )
+        if isinstance(node, ast.NamedExpr):
+            return self.expr_kind(node.value, env)
+        if isinstance(node, ast.Await):
+            return self.expr_kind(node.value, env)
+        if isinstance(node, ast.Call):
+            return self._call_kind(node, env)
+        return None
+
+    def draw_receiver(self, node: ast.AST, env: Dict[str, str]) -> Optional[ast.AST]:
+        """If ``node`` is a draw (``<stream>.random()`` etc.), the receiver."""
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in DRAW_METHODS
+            and self.expr_kind(node.func.value, env) == KIND_RNG
+        ):
+            return node.func.value
+        return None
+
+    # ----------------------------------------------------------------- analysis
+
+    def _call_kind(self, node: ast.Call, env: Dict[str, str]) -> Optional[str]:
+        target = self.context.resolve_call_target(node.func)
+        last = _last_attr(node.func)
+        if target == "random.Random":
+            return KIND_RNG
+        if last == "derive_rng":  # the Simulator seed-derivation rule
+            return KIND_RNG
+        if last == "derive_seed" or (target or "").endswith(".derive_seed"):
+            return KIND_SEED
+        if target is not None and target.endswith("columnar.rng.stream"):
+            return KIND_STREAM
+        if target in ("set", "frozenset"):
+            return KIND_SET
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+            and self.expr_kind(node.func.value, env) == KIND_SET
+        ):
+            return KIND_SET
+        # A function of this module known to return a stream (``make_rng()``,
+        # ``self._make_rng()``) — matched on the bare name.
+        if last in self.returns_rng:
+            return KIND_RNG
+        # A function of another repro module, through the import-alias table.
+        if (
+            target is not None
+            and self.resolver is not None
+            and target.split(".")[0] == "repro"
+            and self.resolver.call_returns_rng(target)
+        ):
+            return KIND_RNG
+        return None
+
+    def _bind_target(self, target: ast.AST, kind: str, env: Dict[str, str]) -> bool:
+        """Record ``target = <kind>``; returns True if the env changed."""
+        changed = False
+        if isinstance(target, ast.Name):
+            if env.get(target.id) != kind:
+                env[target.id] = kind
+                changed = True
+        elif isinstance(target, ast.Attribute) and kind == KIND_RNG:
+            if target.attr not in self.rng_attrs:
+                self.rng_attrs.add(target.attr)
+                changed = True
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # ``a, b = make_rng(), x`` is rare; taint every element (may-analysis).
+            for element in target.elts:
+                changed |= self._bind_target(element, kind, env)
+        return changed
+
+    def _scan_bindings(self, body: List[ast.stmt], env: Dict[str, str]) -> bool:
+        """One pass over every binding in ``body`` (nested blocks included,
+        nested function bodies excluded — they get their own env)."""
+        changed = False
+        for stmt in body:
+            for node in self._walk_same_scope(stmt):
+                value: Optional[ast.AST] = None
+                targets: List[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    value, targets = node.value, list(node.targets)
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    value, targets = node.value, [node.target]
+                elif isinstance(node, ast.NamedExpr):
+                    value, targets = node.value, [node.target]
+                elif isinstance(node, ast.withitem) and node.optional_vars:
+                    value, targets = node.context_expr, [node.optional_vars]
+                if value is None:
+                    continue
+                kind = self.expr_kind(value, env)
+                if kind is None:
+                    continue
+                for target in targets:
+                    changed |= self._bind_target(target, kind, env)
+        return changed
+
+    @staticmethod
+    def _walk_same_scope(stmt: ast.stmt) -> Iterator[ast.AST]:
+        """``ast.walk`` that does not descend into nested function/class bodies.
+
+        The pop-time check also covers a function/class def handed in *as* the
+        seed (a module-body statement): its body belongs to the inner scope.
+        """
+        stack: List[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _analyze(self) -> None:
+        # Module scope first: module-level streams are the shared-stream hazard.
+        for _ in range(_MAX_PASSES):
+            if not self._scan_bindings(self.context.tree.body, self.module_env):
+                break
+        # Function scopes + return summaries, to a cross-function fixpoint:
+        # ``def a(): return make_rng()`` must taint callers of ``a`` found in an
+        # earlier pass, and ``self.rng_attrs`` grows as constructors are scanned.
+        for _ in range(_MAX_PASSES):
+            changed = False
+            for func in self._functions:
+                env = self._scope_envs.setdefault(id(func), {})
+                for arg in self._all_args(func):
+                    if arg.arg in _RNG_NAMES and env.get(arg.arg) != KIND_RNG:
+                        env[arg.arg] = KIND_RNG
+                        changed = True
+                merged = dict(self.module_env)
+                merged.update(env)
+                if self._scan_bindings(func.body, merged):
+                    changed = True
+                for name, kind in merged.items():
+                    if name not in self.module_env and env.get(name) != kind:
+                        env[name] = kind
+                        changed = True
+                if self._returns_kind(func, merged) == KIND_RNG:
+                    if func.name not in self.returns_rng:
+                        self.returns_rng.add(func.name)
+                        changed = True
+            if not changed:
+                break
+
+    @staticmethod
+    def _all_args(func: ast.AST) -> List[ast.arg]:
+        args = func.args
+        return [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]
+
+    def _returns_kind(self, func: ast.AST, env: Dict[str, str]) -> Optional[str]:
+        for node in self._walk_same_scope_body(func):
+            if isinstance(node, ast.Return) and node.value is not None:
+                kind = self.expr_kind(node.value, env)
+                if kind == KIND_RNG:
+                    return KIND_RNG
+        return None
+
+    def _walk_same_scope_body(self, func: ast.AST) -> Iterator[ast.AST]:
+        for stmt in func.body:
+            yield from self._walk_same_scope(stmt)
+
+
+def unordered_iterable(
+    analysis: TaintAnalysis, node: ast.AST, env: Dict[str, str]
+) -> Optional[str]:
+    """Why ``node`` (a loop's iterable) is hash-ordered, or None if it is safe.
+
+    ``sorted(...)`` / ``list(...)`` wrappers come out as plain calls with no SET
+    kind, so they pass without special-casing.
+    """
+    kind = analysis.expr_kind(node, env)
+    if kind == KIND_SET:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set literal iterates in hash order"
+        if isinstance(node, ast.Name):
+            return f"{node.id!r} holds a set, which iterates in hash order"
+        return "this expression yields a set, which iterates in hash order"
+    return None

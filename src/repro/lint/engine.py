@@ -17,6 +17,11 @@ Strict mode (the CI gate) additionally audits the escape hatches themselves:
     allowlists rot into blanket immunity; they are removed, not kept "just in
     case". (Only audited when the full rule set runs — a ``--rules`` subset
     legitimately leaves other rules' suppressions idle.)
+``allowlist-path-form``
+    An allowlist entry spells its path suffix non-canonically (``src/repro/...``
+    instead of ``repro/...``). Both spellings *match* (the one shared matcher
+    normalizes), but strict mode pins the convention so the allowlist and the
+    policy tiers cannot drift into mixed forms.
 
 ``--changed`` support lives here too: :func:`changed_files` asks git for the
 files differing from the committed state (``HEAD``), the fast local iteration
@@ -30,8 +35,15 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Sequence
 
 from repro.lint.allowlist import Allowlist
+from repro.lint.cache import (
+    CachedContext,
+    CachedSuppression,
+    LintCache,
+    file_digest,
+)
 from repro.lint.context import FileContext, LintError
 from repro.lint.findings import Finding, LintReport, SEVERITY_ERROR
+from repro.lint.policy import normalize_path_suffix
 from repro.lint.registry import all_rules, get_rule, load_builtin_rules, rule_ids
 
 
@@ -72,10 +84,31 @@ def display_path(path: Path, base_dir: Optional[Path] = None) -> str:
 def changed_files(root: Path) -> List[Path]:
     """Python files differing from the committed state (``git diff HEAD`` plus
     untracked), for ``repro lint --changed``. Raises :class:`LintError` when
-    ``root`` is not inside a git work tree."""
+    ``root`` is not inside a git work tree.
+
+    Both listings are anchored on the work-tree top level: ``git diff`` always
+    prints toplevel-relative names (even when invoked from a subdirectory, where
+    joining them onto ``root`` used to silently drop every changed file), and
+    running ``ls-files --others`` *from* the top level makes untracked names
+    toplevel-relative too — so new, not-yet-``git add``-ed ``.py`` files are
+    included, which is exactly when lint feedback matters most.
+    """
+    try:
+        toplevel_result = subprocess.run(
+            ["git", "-C", str(root), "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError) as error:
+        raise LintError(
+            f"--changed needs a git work tree at {root} "
+            f"(rev-parse --show-toplevel failed: {error})"
+        ) from None
+    toplevel = Path(toplevel_result.stdout.strip())
     commands = (
-        ["git", "-C", str(root), "diff", "--name-only", "HEAD", "--"],
-        ["git", "-C", str(root), "ls-files", "--others", "--exclude-standard"],
+        ["git", "-C", str(toplevel), "diff", "--name-only", "HEAD", "--"],
+        ["git", "-C", str(toplevel), "ls-files", "--others", "--exclude-standard"],
     )
     names: List[str] = []
     for command in commands:
@@ -91,7 +124,7 @@ def changed_files(root: Path) -> List[Path]:
         names.extend(result.stdout.splitlines())
     files = []
     for name in dict.fromkeys(names):  # de-duplicate, keep order
-        path = root / name
+        path = toplevel / name
         if path.suffix == ".py" and path.exists():
             files.append(path)
     return files
@@ -102,6 +135,7 @@ def _lint_one(
     rules,
     allowlist: Allowlist,
     base_dir: Optional[Path],
+    cache: Optional[LintCache] = None,
 ) -> LintReport:
     report = LintReport(files_checked=1, rules_run=tuple(rule.id for rule in rules))
     shown = display_path(path, base_dir)
@@ -109,24 +143,76 @@ def _lint_one(
         source = path.read_text()
     except OSError as error:
         raise LintError(f"cannot read {path}: {error}") from None
+
+    digest = file_digest(source.encode("utf-8")) if cache is not None else ""
+    entry = cache.lookup(shown, digest) if cache is not None else None
+    if entry is not None:
+        # Replay the cached *raw* rule output through the live suppression table
+        # and allowlist — an escape-hatch edit elsewhere must never be masked by
+        # a stale verdict, and the strict audit still sees this file.
+        raw = [Finding(**fields) for fields in entry.get("findings", ())]
+        if entry.get("parse_error"):
+            report.findings.extend(raw)
+            return report
+        replay = CachedContext(
+            shown,
+            [
+                CachedSuppression(
+                    int(record["line"]),
+                    int(record["target_line"]),
+                    record["rules"],
+                    str(record.get("scope", "<module>")),
+                )
+                for record in entry.get("suppressions", ())
+            ],
+        )
+        for finding in raw:
+            if replay.is_suppressed(finding.line, finding.rule):
+                report.suppressed += 1
+            elif allowlist.allows(finding):
+                report.allowlisted += 1
+            else:
+                report.findings.append(finding)
+        report._context = replay  # type: ignore[attr-defined]  # strict-audit hook
+        return report
+
     try:
         context = FileContext(path, shown, source)
     except SyntaxError as error:
-        report.findings.append(
-            Finding(
-                path=shown,
-                line=error.lineno or 1,
-                col=(error.offset or 1) - 1,
-                rule="parse-error",
-                message=f"file does not parse: {error.msg}",
-                severity=SEVERITY_ERROR,
-            )
+        finding = Finding(
+            path=shown,
+            line=error.lineno or 1,
+            col=(error.offset or 1) - 1,
+            rule="parse-error",
+            message=f"file does not parse: {error.msg}",
+            severity=SEVERITY_ERROR,
         )
+        report.findings.append(finding)
+        if cache is not None:
+            cache.store(
+                shown, digest, [finding.to_json_dict()], [], parse_error=True
+            )
         return report
 
-    raw: List[Finding] = []
+    raw = []
     for rule in rules:
         raw.extend(rule.check(context))
+
+    if cache is not None:
+        cache.store(
+            shown,
+            digest,
+            [finding.to_json_dict() for finding in raw],
+            [
+                {
+                    "line": suppression.line,
+                    "target_line": suppression.target_line,
+                    "rules": list(suppression.rules),
+                    "scope": context.scope_at(suppression.line),
+                }
+                for suppression in context.suppressions
+            ],
+        )
 
     for finding in raw:
         if context.is_suppressed(finding.line, finding.rule):
@@ -146,6 +232,7 @@ def run_lint(
     strict: bool = False,
     allowlist: Optional[Allowlist] = None,
     base_dir: Optional[Path] = None,
+    cache: Optional[LintCache] = None,
 ) -> LintReport:
     """Lint ``paths`` (files or directories) and return the merged report.
 
@@ -153,6 +240,8 @@ def run_lint(
     ids raise :class:`LintError`. ``strict`` adds the escape-hatch audit
     findings described in the module docstring. ``allowlist`` defaults to
     discovery (walking up from the first path for ``.repro-lint-allow``).
+    ``cache`` (a pre-loaded :class:`~repro.lint.cache.LintCache`) replays rule
+    output for content-unchanged files and is saved back when the run ends.
     """
     load_builtin_rules()
     if rules is None:
@@ -170,7 +259,7 @@ def run_lint(
     merged = LintReport(rules_run=tuple(rule.id for rule in selected))
     contexts: List[FileContext] = []
     for file in files:
-        report = _lint_one(file, selected, allowlist, base_dir)
+        report = _lint_one(file, selected, allowlist, base_dir, cache)
         context = getattr(report, "_context", None)
         if context is not None:
             contexts.append(context)
@@ -183,6 +272,9 @@ def run_lint(
         merged.findings.extend(
             _strict_audit(contexts, allowlist, full_run=full_run)
         )
+    if cache is not None:
+        cache.save()
+        merged._cache = cache  # type: ignore[attr-defined]  # hit/miss telemetry
     return merged
 
 
@@ -235,6 +327,23 @@ def _strict_audit(
                 message=(
                     f"allowlist entry '{entry.describe()}' names unregistered "
                     f"rule {entry.rule!r}"
+                ),
+            )
+        )
+    for entry in allowlist.entries:
+        if entry.is_canonical_form():
+            continue
+        findings.append(
+            Finding(
+                path=allowlist_path,
+                line=entry.line,
+                col=0,
+                rule="allowlist-path-form",
+                message=(
+                    f"allowlist entry '{entry.describe()}' spells its path "
+                    f"non-canonically; write it package-relative as "
+                    f"{normalize_path_suffix(entry.path_suffix)!r} so the "
+                    f"allowlist and the policy tiers share one convention"
                 ),
             )
         )

@@ -8,7 +8,11 @@ module to a tier is a one-line policy change, not a rule edit.
 
 Paths are matched as posix suffixes (``repro/workload/timeline.py`` matches the
 file wherever the checkout lives), which also lets test fixtures opt into a tier by
-mirroring the path shape.
+mirroring the path shape. :func:`path_matches_suffix` is the one matcher — tier
+declarations here and ``.repro-lint-allow`` entries go through it, and both use
+the same canonical package-relative form: ``repro/...`` with no ``src/`` prefix
+(a leading ``src/`` is tolerated at match time but rejected by the strict-mode
+allowlist audit, so the two spellings can never drift apart again).
 """
 
 from __future__ import annotations
@@ -32,6 +36,17 @@ CANONICAL_MODULES: Tuple[str, ...] = (
     "repro/workload/timeline.py",
     "repro/workload/events.py",
     "repro/columnar/streaming.py",
+)
+
+#: Modules holding the columnar engine's dual execution paths: every per-row
+#: phase must run vectorized under numpy with a ``use_numpy``-guarded pure-array
+#: mirror (the PR 7/9 bit-parity contract). The ``hotloop-python-scan``,
+#: ``hotloop-alloc`` and ``fallback-parity`` rules fire only here.
+VECTORIZED_MODULES: Tuple[str, ...] = (
+    "repro/columnar/engine.py",
+    "repro/columnar/shuffle.py",
+    "repro/columnar/streaming.py",
+    "repro/columnar/rng.py",
 )
 
 #: Hot-path modules whose classes must declare ``__slots__`` — the
@@ -109,8 +124,34 @@ NUMPY_RANDOM_PREFIXES: Tuple[str, ...] = (
 )
 
 
+def normalize_path_suffix(suffix: str) -> str:
+    """Canonical form of a tier/allowlist path suffix: posix, package-relative.
+
+    ``src/repro/...`` and ``./repro/...`` normalize to ``repro/...`` — the one
+    spelling the docs, the tiers above and ``.repro-lint-allow`` all use.
+    """
+    suffix = suffix.replace("\\", "/")
+    while suffix.startswith("./"):
+        suffix = suffix[2:]
+    if suffix.startswith("src/"):
+        suffix = suffix[len("src/") :]
+    return suffix
+
+
+def path_matches_suffix(path: str, suffix: str) -> bool:
+    """Does posix ``path`` end with ``suffix`` at a path-component boundary?
+
+    The single matcher behind every tier predicate and allowlist entry; both
+    sides are normalized first, so an entry written as ``src/repro/...`` still
+    matches a finding reported as ``repro/...`` (and vice versa).
+    """
+    path = normalize_path_suffix(path)
+    suffix = normalize_path_suffix(suffix)
+    return path == suffix or path.endswith("/" + suffix)
+
+
 def _matches(path: str, suffixes: Tuple[str, ...]) -> bool:
-    return any(path.endswith(suffix) for suffix in suffixes)
+    return any(path_matches_suffix(path, suffix) for suffix in suffixes)
 
 
 def is_canonical_module(path: str) -> bool:
@@ -121,3 +162,8 @@ def is_canonical_module(path: str) -> bool:
 def is_slots_module(path: str) -> bool:
     """Is ``path`` (posix) in the hot-path tier that must declare ``__slots__``?"""
     return _matches(path, SLOTS_MODULES)
+
+
+def is_vectorized_module(path: str) -> bool:
+    """Is ``path`` (posix) in the columnar dual-execution (vectorized) tier?"""
+    return _matches(path, VECTORIZED_MODULES)

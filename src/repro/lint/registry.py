@@ -28,6 +28,8 @@ _BUILTIN_MODULES = (
     "repro.lint.rules.wallclock",
     "repro.lint.rules.capability",
     "repro.lint.rules.slots",
+    "repro.lint.rules.dataflow_rng",
+    "repro.lint.rules.vectorization",
 )
 
 

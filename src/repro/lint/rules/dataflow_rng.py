@@ -1,0 +1,286 @@
+"""RNG-custody rules: dataflow-level guards on stream consumption.
+
+Built on :mod:`repro.lint.dataflow` (the per-module taint pass with
+cross-module summaries). Where :mod:`repro.lint.rules.rng` checks how a stream
+is *created*, these check how it is *consumed*:
+
+``draw-in-unordered-loop``
+    A draw from a stateful stream inside iteration over a hash-ordered
+    container. The draw sequence then depends on set iteration order — the
+    evaluation-order hazard PR 9's positional counter RNG exists to eliminate.
+    ``sorted(...)`` the iterable, or key draws by position
+    (:mod:`repro.columnar.rng`).
+
+``shared-stream``
+    A module-level stream drawn from two or more distinct function scopes. Any
+    two such consumers interleave by call order, so adding a call site in one
+    function silently re-seeds the other's draws. Each consumer must derive its
+    own stream (``derive_seed`` / ``derive_rng``) instead.
+
+``rng-crosses-process``
+    A stream reachable from an object that crosses a process boundary — pickled
+    explicitly, written to a pipe/queue ``send``/``put``, or passed in
+    ``multiprocessing.Process(args=...)``. Pickling a ``random.Random``
+    duplicates its state: parent and child then replay the *same* draws, the
+    exact bug the matrix runner's per-cell ``derive_seed`` custody prevents.
+    Ship the seed (an int) and re-derive on the far side.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.context import FileContext
+from repro.lint.dataflow import (
+    KIND_RNG,
+    DataflowResolver,
+    TaintAnalysis,
+    unordered_iterable,
+)
+from repro.lint.findings import Finding
+from repro.lint.registry import register_rule
+
+#: Receiver-name fragments that mark a ``.send``/``.put`` call as an IPC write.
+_IPC_RECEIVERS = ("conn", "pipe", "queue")
+_IPC_METHODS = frozenset({"send", "put", "put_nowait"})
+
+#: One resolver per package root, shared across files of a lint run (summaries
+#: are pure functions of on-disk sources, so caching across contexts is sound).
+_RESOLVERS: Dict[Optional[str], DataflowResolver] = {}
+
+#: Per-file analysis cache: the three rules here run on the same context object,
+#: so the (expensive) taint pass runs once, not three times.
+_ANALYSES: Dict[int, Tuple[FileContext, TaintAnalysis]] = {}
+
+
+def _analysis(context: FileContext) -> TaintAnalysis:
+    cached = _ANALYSES.get(id(context))
+    if cached is not None and cached[0] is context:
+        return cached[1]
+    resolver = DataflowResolver.for_file(context.path)
+    key = str(resolver.package_root) if resolver.package_root else None
+    resolver = _RESOLVERS.setdefault(key, resolver)
+    analysis = TaintAnalysis(context, resolver=resolver)
+    _ANALYSES.clear()  # one linted file at a time; don't grow without bound
+    _ANALYSES[id(context)] = (context, analysis)
+    return analysis
+
+
+def _finding(context: FileContext, node: ast.AST, rule: str, message: str) -> Finding:
+    return Finding(
+        path=context.display_path,
+        line=node.lineno,
+        col=node.col_offset,
+        rule=rule,
+        message=message,
+        scope=context.scope_at(node.lineno),
+    )
+
+
+def _loops_in(scope_body: List[ast.stmt]) -> Iterator[Tuple[ast.AST, List[ast.AST]]]:
+    """(iterable, body nodes) for every for-loop and comprehension in a scope,
+    without descending into nested function/class bodies."""
+    stack: List[ast.AST] = list(scope_body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue  # nested scope (including module-level defs as seeds)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, node.body
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            yield node.generators[0].iter, [node.elt, *node.generators[0].ifs]
+        elif isinstance(node, ast.DictComp):
+            yield node.generators[0].iter, [
+                node.key,
+                node.value,
+                *node.generators[0].ifs,
+            ]
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def check_draw_in_unordered_loop(context: FileContext) -> List[Finding]:
+    analysis = _analysis(context)
+    findings: List[Finding] = []
+    for func, env in analysis.iter_scopes():
+        body = func.body if func is not None else context.tree.body
+        for iterable, loop_body in _loops_in(body):
+            reason = unordered_iterable(analysis, iterable, env)
+            if reason is None:
+                continue
+            for part in loop_body:
+                for node in ast.walk(part):
+                    if analysis.draw_receiver(node, env) is not None:
+                        findings.append(
+                            _finding(
+                                context,
+                                node,
+                                "draw-in-unordered-loop",
+                                f"stream drawn inside a loop whose order is not "
+                                f"stable ({reason}); the draw sequence then "
+                                f"depends on hash order — iterate sorted(...) "
+                                f"or key draws by position",
+                            )
+                        )
+    return findings
+
+
+def check_shared_stream(context: FileContext) -> List[Finding]:
+    analysis = _analysis(context)
+    module_streams = {
+        name for name, kind in analysis.module_env.items() if kind == KIND_RNG
+    }
+    if not module_streams:
+        return []
+    # name -> [(scope label, draw node)] in source order.
+    draws: Dict[str, List[Tuple[str, ast.AST]]] = {name: [] for name in module_streams}
+    for func, env in analysis.iter_scopes():
+        body = func.body if func is not None else context.tree.body
+        label = func.name if func is not None else "<module>"
+        for stmt in body:
+            for node in TaintAnalysis._walk_same_scope(stmt):
+                receiver = analysis.draw_receiver(node, env)
+                if (
+                    receiver is not None
+                    and isinstance(receiver, ast.Name)
+                    and receiver.id in module_streams
+                    # A function-local rebinding shadows the module stream.
+                    and env.get(receiver.id) == KIND_RNG
+                    and (func is None or receiver.id not in
+                         analysis.scope_env(func)
+                         or receiver.id in analysis.module_env)
+                ):
+                    draws[receiver.id].append((label, node))
+    findings: List[Finding] = []
+    for name, sites in sorted(draws.items()):
+        scopes = sorted({label for label, _ in sites})
+        if len(scopes) < 2:
+            continue
+        first_scope = sites[0][0]
+        for label, node in sites:
+            if label == first_scope:
+                continue
+            findings.append(
+                _finding(
+                    context,
+                    node,
+                    "shared-stream",
+                    f"module-level stream {name!r} is also consumed from "
+                    f"{first_scope!r}; interleaved consumers couple each "
+                    f"other's draws — derive a per-consumer stream with "
+                    f"derive_seed/derive_rng",
+                )
+            )
+    return findings
+
+
+def _tainted_within(
+    analysis: TaintAnalysis, node: ast.AST, env: Dict[str, str]
+) -> bool:
+    """Is any sub-expression of ``node`` RNG-tainted? (Pickling a container
+    pickles everything reachable from it, so one tainted element taints the
+    whole argument.)"""
+    return any(
+        analysis.expr_kind(sub, env) == KIND_RNG for sub in ast.walk(node)
+    )
+
+
+def _ipc_receiver(node: ast.AST) -> bool:
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None:
+        return False
+    lowered = name.lower()
+    return lowered == "q" or any(part in lowered for part in _IPC_RECEIVERS)
+
+
+def check_rng_crosses_process(context: FileContext) -> List[Finding]:
+    analysis = _analysis(context)
+    findings: List[Finding] = []
+    for func, env in analysis.iter_scopes():
+        body = func.body if func is not None else context.tree.body
+        for stmt in body:
+            for node in TaintAnalysis._walk_same_scope(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = context.resolve_call_target(node.func)
+                boundary: Optional[str] = None
+                payloads: List[ast.AST] = []
+                if target in ("pickle.dumps", "pickle.dump"):
+                    boundary = f"{target}()"
+                    payloads = node.args[:1]
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _IPC_METHODS
+                    and _ipc_receiver(node.func.value)
+                ):
+                    boundary = f".{node.func.attr}() on a pipe/queue"
+                    payloads = node.args[:1]
+                elif target is not None and target.endswith(
+                    ("multiprocessing.Process", "multiprocessing.context.Process")
+                ):
+                    boundary = "multiprocessing.Process(args=...)"
+                    payloads = [
+                        kw.value for kw in node.keywords if kw.arg == "args"
+                    ]
+                if boundary is None:
+                    continue
+                for payload in payloads:
+                    if _tainted_within(analysis, payload, env):
+                        findings.append(
+                            _finding(
+                                context,
+                                node,
+                                "rng-crosses-process",
+                                f"a stream is reachable from the payload of "
+                                f"{boundary}; pickling duplicates its state so "
+                                f"both processes replay the same draws — ship "
+                                f"the derive_seed value and rebuild the stream "
+                                f"on the far side",
+                            )
+                        )
+                        break
+    return findings
+
+
+register_rule(
+    "draw-in-unordered-loop",
+    check_draw_in_unordered_loop,
+    description=(
+        "no stateful-stream draws inside hash-ordered (set) iteration"
+    ),
+    rationale=(
+        "a stream's draw sequence is its contract; consuming it in set order "
+        "couples results to hash order — the order-dependence the columnar "
+        "positional RNG (PR 9) was built to eliminate"
+    ),
+)
+
+register_rule(
+    "shared-stream",
+    check_shared_stream,
+    description=(
+        "a module-level stream may not be consumed from multiple scopes"
+    ),
+    rationale=(
+        "interleaved consumers of one stream re-seed each other by call order; "
+        "per-consumer derive_seed streams keep every result a pure function of "
+        "its labels (PR 2's worker-parity contract)"
+    ),
+)
+
+register_rule(
+    "rng-crosses-process",
+    check_rng_crosses_process,
+    description=(
+        "no stream may be pickled across a process boundary (pipes, queues)"
+    ),
+    rationale=(
+        "the matrix runner's workers rebuild streams from derived seeds (PR 6); "
+        "a pickled stream duplicates state and replays identical draws in two "
+        "processes"
+    ),
+)
